@@ -1,0 +1,98 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every bench binary reproduces one table or figure of the paper (see
+// DESIGN.md §4): it runs standalone with scaled-down defaults that finish in
+// seconds, prints the paper's row/series structure as an aligned text table
+// plus a machine-readable CSV block, and accepts flags (--rows, --scale,
+// --seed, ...) to push towards paper scale.
+
+#ifndef FASTOFD_BENCH_BENCH_COMMON_H_
+#define FASTOFD_BENCH_BENCH_COMMON_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace fastofd::bench {
+
+/// Prints the experiment banner.
+inline void Banner(const std::string& id, const std::string& what,
+                   const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("paper reference: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Accumulates an aligned text table + CSV twin.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  /// Adds a row of preformatted cells (must match the column count).
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Prints the aligned table followed by a CSV block.
+  void Print() const {
+    std::vector<size_t> width(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::string rule;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      rule += std::string(width[c], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+
+    std::printf("\n# CSV\n");
+    auto print_csv = [](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        std::printf("%s%s", c ? "," : "", row[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_csv(columns_);
+    for (const auto& row : rows_) print_csv(row);
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style std::string.
+inline std::string Fmt(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+/// Times a callable once, in seconds.
+template <typename Fn>
+double TimeIt(Fn&& fn) {
+  Timer timer;
+  fn();
+  return timer.Seconds();
+}
+
+}  // namespace fastofd::bench
+
+#endif  // FASTOFD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Exp-10 + Exp-14 (Figures 9c/9d): repair accuracy and runtime vs error
+// rate, OFDClean against the HoloClean-style baseline. The paper: both
+// degrade as err% grows; OFDClean beats HoloClean by ~7.4% precision and
+// ~4.4% recall because senses stop legitimate synonyms from being
+// "repaired"; OFDClean pays extra runtime for exploring ontology repairs.
+//
+//   bench_exp10_clean_err [--rows N] [--seed S]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "clean/holoclean_lite.h"
+#include "clean/repair.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 3000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 10));
+
+  Banner("Exp-10/14", "repair accuracy vs err%: OFDClean vs HoloCleanLite",
+         "Figures 9c/9d / §8.5");
+  std::printf("rows=%d\n\n", rows);
+
+  Table table({"err%", "ofdclean-P", "ofdclean-R", "ofdclean-s", "holoclean-P",
+               "holoclean-R", "holoclean-s"});
+  for (int err : {3, 6, 9, 12, 15}) {
+    DataGenConfig cfg;
+    cfg.num_rows = rows;
+    cfg.num_antecedents = 2;
+    cfg.num_consequents = 2;
+    cfg.num_senses = 4;
+    cfg.values_per_sense = 6;
+    cfg.classes_per_antecedent = 10;
+    cfg.error_rate = err / 100.0;
+    cfg.incompleteness_rate = 0.02;
+    cfg.in_domain_error_fraction = 0.3;
+    cfg.seed = seed;
+    GeneratedData data = GenerateData(cfg);
+
+    OfdCleanResult oc;
+    double oc_secs = TimeIt([&] {
+      OfdCleanConfig ccfg;
+      ccfg.min_candidate_classes = 2;
+      OfdClean cleaner(data.rel, data.ontology, data.sigma, ccfg);
+      oc = cleaner.Run();
+    });
+    std::vector<std::pair<std::string, std::string>> oc_adds;
+    for (const OntologyAddition& add : oc.best.ontology_additions) {
+      oc_adds.emplace_back(data.ontology.sense_name(add.sense),
+                           data.rel.dict().String(add.value));
+    }
+    RepairScore oc_score = ScoreFullRepair(data, oc.best.repaired, oc_adds);
+
+    HoloCleanLiteResult hc;
+    double hc_secs = TimeIt([&] {
+      hc = HoloCleanLite(data.rel, data.ontology, data.sigma);
+    });
+    RepairScore hc_score = ScoreFullRepair(data, hc.repaired, {});
+
+    table.AddRow({Fmt("%d", err), Fmt("%.3f", oc_score.precision()),
+                  Fmt("%.3f", oc_score.recall()), Fmt("%.3f", oc_secs),
+                  Fmt("%.3f", hc_score.precision()),
+                  Fmt("%.3f", hc_score.recall()), Fmt("%.3f", hc_secs)});
+  }
+  table.Print();
+  std::printf("expected shape: accuracy declines with err%% for both; OFDClean\n"
+              "dominates HoloCleanLite on precision (no synonym false\n"
+              "positives) at higher runtime (ontology-repair search).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Exp-11 (Figure 7 inc): repair accuracy vs ontology incompleteness inc%.
+// Values present in the data but missing from the ontology are resolved by
+// ontology repairs. The paper: precision declines as inc% grows (some
+// values land in the wrong sense); recall stays high (>85%) with a slight
+// linear decline.
+//
+//   bench_exp11_incompleteness [--rows N] [--seed S]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "clean/repair.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 2000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+
+  Banner("Exp-11", "repair accuracy vs ontology incompleteness inc%",
+         "Figure 12 / §8.5 Exp-11");
+  std::printf("rows=%d\n\n", rows);
+
+  Table table({"inc%", "data-P", "data-R", "ont-adds", "ont-correct",
+               "candidates", "seconds"});
+  for (int inc : {2, 4, 6, 8, 10}) {
+    DataGenConfig cfg;
+    cfg.num_rows = rows;
+    cfg.num_antecedents = 2;
+    cfg.num_consequents = 2;
+    cfg.num_senses = 4;
+    cfg.values_per_sense = 12;
+    cfg.classes_per_antecedent = 10;
+    cfg.error_rate = 0.03;
+    cfg.incompleteness_rate = inc / 100.0;
+    cfg.in_domain_error_fraction = 0.3;
+    cfg.seed = seed;
+    GeneratedData data = GenerateData(cfg);
+
+    OfdCleanConfig ccfg;
+    ccfg.min_candidate_classes = 2;
+    ccfg.max_repair_size = 16;
+    OfdCleanResult result;
+    double secs = TimeIt([&] {
+      OfdClean cleaner(data.rel, data.ontology, data.sigma, ccfg);
+      result = cleaner.Run();
+    });
+    std::vector<std::pair<std::string, std::string>> adds;
+    for (const OntologyAddition& add : result.best.ontology_additions) {
+      adds.emplace_back(data.ontology.sense_name(add.sense),
+                        data.rel.dict().String(add.value));
+    }
+    RepairScore score = ScoreFullRepair(data, result.best.repaired, adds);
+
+    // Ontology-repair accuracy: an addition is correct if it re-inserts a
+    // removed value into a sense that contained it in the full ontology.
+    int64_t ont_correct = 0;
+    for (const OntologyAddition& add : result.best.ontology_additions) {
+      const std::string& v = data.rel.dict().String(add.value);
+      if (std::find(data.removed_values.begin(), data.removed_values.end(), v) ==
+          data.removed_values.end()) {
+        continue;
+      }
+      const std::string& sense_name = data.ontology.sense_name(add.sense);
+      SenseId full_sense = data.full_ontology.FindSense(sense_name);
+      if (full_sense != kInvalidSense &&
+          data.full_ontology.SenseContains(full_sense, v)) {
+        ++ont_correct;
+      }
+    }
+
+    table.AddRow({Fmt("%d", inc), Fmt("%.3f", score.precision()),
+                  Fmt("%.3f", score.recall()),
+                  Fmt("%zu", result.best.ontology_additions.size()),
+                  Fmt("%lld", static_cast<long long>(ont_correct)),
+                  Fmt("%lld", static_cast<long long>(result.num_candidates)),
+                  Fmt("%.3f", secs)});
+  }
+  table.Print();
+  std::printf("expected shape: more incompleteness → more ontology-repair\n"
+              "candidates and additions; precision declines as some values are\n"
+              "added under the wrong sense; recall declines only slightly.\n");
+  return 0;
+}

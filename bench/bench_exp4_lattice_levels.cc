@@ -1,0 +1,72 @@
+// Exp-4 (§8.2, "Efficiency over lattice levels"): OFDs found and time spent
+// per lattice level. The paper observes that compact OFDs dominate: ~61% of
+// discoveries land in the first 6 of 15 levels using ~25% of total time,
+// motivating the max_level cutoff.
+//
+//   bench_exp4_lattice_levels [--rows N] [--seed S]
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "ontology/synonym_index.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 3000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+
+  Banner("Exp-4", "OFDs and time per lattice level", "§8.2 Exp-4");
+
+  DataGenConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_antecedents = 4;
+  cfg.num_consequents = 3;
+  cfg.num_noise_attrs = 3;
+  cfg.num_senses = 4;
+  cfg.classes_per_antecedent = 10;
+  cfg.error_rate = 0.0;
+  cfg.seed = seed;
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  std::printf("rows=%d, attrs=%d\n\n", data.rel.num_rows(), data.rel.num_attrs());
+
+  FastOfdResult result = FastOfd(data.rel, index).Discover();
+
+  double total_time = 0.0;
+  int64_t total_ofds = 0;
+  for (const LevelStats& s : result.level_stats) {
+    total_time += s.seconds;
+    total_ofds += s.ofds_found;
+  }
+
+  Table table({"level", "nodes", "candidates", "ofds", "seconds", "cum-ofds%",
+               "cum-time%"});
+  int64_t cum_ofds = 0;
+  double cum_time = 0.0;
+  for (const LevelStats& s : result.level_stats) {
+    cum_ofds += s.ofds_found;
+    cum_time += s.seconds;
+    table.AddRow({Fmt("%d", s.level), Fmt("%lld", static_cast<long long>(s.nodes)),
+                  Fmt("%lld", static_cast<long long>(s.candidates_checked)),
+                  Fmt("%lld", static_cast<long long>(s.ofds_found)),
+                  Fmt("%.4f", s.seconds),
+                  Fmt("%.1f", total_ofds ? 100.0 * cum_ofds / total_ofds : 0.0),
+                  Fmt("%.1f", total_time > 0 ? 100.0 * cum_time / total_time : 0.0)});
+  }
+  table.Print();
+  std::printf("total: %lld OFDs in %.3fs across %zu levels\n",
+              static_cast<long long>(total_ofds), total_time,
+              result.level_stats.size());
+  std::printf("expected shape: the majority of (compact, interesting) OFDs are\n"
+              "found in the top levels at a small fraction of total time — the\n"
+              "paper reports ~61%% of OFDs in the first 6/15 levels for ~25%% of\n"
+              "the time, so pruning deep levels is cheap.\n");
+  return 0;
+}

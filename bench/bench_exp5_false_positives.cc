@@ -1,0 +1,83 @@
+// Exp-5 (§8.3, "Eliminating false-positive data quality errors"): for each
+// discovered OFD, the percentage of tuples whose consequent values are
+// syntactically non-equal yet synonymous. Under FD-based cleaning these
+// tuples are flagged as errors; OFDs recognize them as clean. The paper
+// reports ~75% non-equal synonym values at lattice level 1, declining as
+// antecedents grow.
+//
+//   bench_exp5_false_positives [--rows N] [--seed S]
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "ofd/verifier.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 3000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
+
+  Banner("Exp-5", "false positives saved by OFD semantics", "§8.3 Exp-5");
+
+  DataGenConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_antecedents = 4;
+  cfg.num_consequents = 3;
+  cfg.num_noise_attrs = 1;
+  cfg.num_senses = 4;
+  cfg.values_per_sense = 8;
+  cfg.deterministic_class_fraction = 0.25;
+  cfg.classes_per_antecedent = 10;
+  cfg.error_rate = 0.0;
+  cfg.seed = seed;
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  OfdVerifier verifier(data.rel, index);
+  std::printf("rows=%d, attrs=%d\n\n", data.rel.num_rows(), data.rel.num_attrs());
+
+  FastOfdResult result = FastOfd(data.rel, index).Discover();
+
+  // Aggregate SynonymSavings per lattice level (level = |lhs| + 1).
+  struct LevelAgg {
+    int64_t ofds = 0;
+    int64_t class_tuples = 0;
+    int64_t saved_tuples = 0;
+  };
+  std::map<int, LevelAgg> by_level;
+  for (const Ofd& ofd : result.ofds) {
+    StrippedPartition p = StrippedPartition::BuildForSet(data.rel, ofd.lhs);
+    SynonymSavings savings = verifier.Savings(ofd, p);
+    LevelAgg& agg = by_level[ofd.lhs.size() + 1];
+    ++agg.ofds;
+    agg.class_tuples += savings.class_tuples;
+    agg.saved_tuples += savings.saved_tuples;
+  }
+
+  Table table({"level", "ofds", "class-tuples", "synonym-tuples", "non-equal%"});
+  for (const auto& [level, agg] : by_level) {
+    double pct = agg.class_tuples
+                     ? 100.0 * static_cast<double>(agg.saved_tuples) /
+                           static_cast<double>(agg.class_tuples)
+                     : 0.0;
+    table.AddRow({Fmt("%d", level), Fmt("%lld", static_cast<long long>(agg.ofds)),
+                  Fmt("%lld", static_cast<long long>(agg.class_tuples)),
+                  Fmt("%lld", static_cast<long long>(agg.saved_tuples)),
+                  Fmt("%.1f", pct)});
+  }
+  table.Print();
+  std::printf("expected shape: a large share of satisfying tuples at the top\n"
+              "levels contain non-equal synonym values (the paper reports 75%%\n"
+              "at level 1) — all of them FD-cleaning false positives that OFDs\n"
+              "avoid; the share declines as antecedents grow.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Exp-6 (Figures 7a/7b): sense-selection accuracy and runtime vs the number
+// of senses |λ| ∈ {2,4,6,8,10}. The paper: recall stays 100% (every class
+// gets a sense); precision declines gently with more senses (more competing
+// interpretations) but stays above ~80%; runtime grows ~linearly in |λ|.
+//
+//   bench_exp6_vary_senses [--rows N] [--err RATE] [--seed S]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "clean/sense_assignment.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "ontology/synonym_index.h"
+#include "sense_eval.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 5000));
+  double err = flags.GetDouble("err", 0.06);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 6));
+
+  Banner("Exp-6", "sense selection vs number of senses |λ|",
+         "Figures 7a/7b / §8.4");
+  std::printf("rows=%d, err=%.0f%%\n\n", rows, err * 100);
+
+  Table table({"senses", "precision", "recall", "seconds", "classes"});
+  for (int senses : {2, 4, 6, 8, 10}) {
+    DataGenConfig cfg;
+    cfg.num_rows = rows;
+    cfg.num_antecedents = 2;
+    cfg.num_consequents = 2;
+    cfg.num_senses = senses;
+    cfg.values_per_sense = 6;
+    cfg.classes_per_antecedent = rows / 20;
+    cfg.sense_overlap = 0.5;
+    cfg.plant_interacting_ofds = true;
+    cfg.error_rate = err;
+    cfg.seed = seed;
+    GeneratedData data = GenerateData(cfg);
+    SynonymIndex index(data.ontology, data.rel.dict());
+
+    SenseAssignmentResult result;
+    double secs = TimeIt([&] {
+      SenseSelector selector(data.rel, index, data.sigma, SenseAssignConfig{2.0});
+      result = selector.Run();
+    });
+    SenseAccuracy acc = EvaluateSenses(data, index, result);
+    table.AddRow({Fmt("%d", senses), Fmt("%.3f", acc.precision()),
+                  Fmt("%.3f", acc.recall()), Fmt("%.3f", secs),
+                  Fmt("%lld", static_cast<long long>(acc.classes))});
+  }
+  table.Print();
+  std::printf("expected shape: recall pinned at 1.0; precision declining\n"
+              "gently with |λ| but staying high; runtime ~linear in |λ|.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Exp-7 (Figures 7c/7d): sense-selection accuracy and runtime vs the error
+// rate err% ∈ {3,6,9,12,15}. The paper: precision declines ~linearly with
+// errors (overlapping erroneous values make the right sense harder to pick);
+// runtime increases as more refinements are evaluated.
+//
+//   bench_exp7_vary_err [--rows N] [--senses K] [--seed S]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "clean/sense_assignment.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "ontology/synonym_index.h"
+#include "sense_eval.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 5000));
+  int senses = static_cast<int>(flags.GetInt("senses", 4));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  Banner("Exp-7", "sense selection vs error rate err%", "Figures 7c/7d / §8.4");
+  std::printf("rows=%d, senses=%d\n\n", rows, senses);
+
+  Table table({"err%", "precision", "recall", "seconds", "refinements"});
+  for (int err : {3, 6, 9, 12, 15}) {
+    DataGenConfig cfg;
+    cfg.num_rows = rows;
+    cfg.num_antecedents = 2;
+    cfg.num_consequents = 2;
+    cfg.num_senses = senses;
+    cfg.values_per_sense = 6;
+    cfg.classes_per_antecedent = rows / 20;
+    cfg.sense_overlap = 0.4;
+    cfg.plant_interacting_ofds = true;
+    cfg.error_rate = err / 100.0;
+    cfg.seed = seed;
+    GeneratedData data = GenerateData(cfg);
+    SynonymIndex index(data.ontology, data.rel.dict());
+
+    SenseAssignmentResult result;
+    double secs = TimeIt([&] {
+      SenseSelector selector(data.rel, index, data.sigma, SenseAssignConfig{2.0});
+      result = selector.Run();
+    });
+    SenseAccuracy acc = EvaluateSenses(data, index, result);
+    table.AddRow({Fmt("%d", err), Fmt("%.3f", acc.precision()),
+                  Fmt("%.3f", acc.recall()), Fmt("%.3f", secs),
+                  Fmt("%lld", static_cast<long long>(result.refinements))});
+  }
+  table.Print();
+  std::printf("expected shape: precision declines roughly linearly with err%%;\n"
+              "recall stays 1.0; runtime creeps up with the number of\n"
+              "refinement evaluations.\n");
+  return 0;
+}

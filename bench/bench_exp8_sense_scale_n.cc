@@ -1,0 +1,62 @@
+// Exp-8 (Table 7): sense-assignment runtime vs number of tuples N.
+// The paper sweeps 0.2M–1M tuples and reports 9.3s → 27.2s (roughly linear
+// with a mild super-linear tail from overlapping classes); precision is
+// insensitive to N. Default sweep is 20x smaller; use --scale 20 for paper
+// scale.
+//
+//   bench_exp8_sense_scale_n [--scale K] [--seed S]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "clean/sense_assignment.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "ontology/synonym_index.h"
+#include "sense_eval.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int64_t scale = flags.GetInt("scale", 1);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 8));
+
+  Banner("Exp-8", "sense-assignment runtime vs N", "Table 7 / §8.4 Exp-8");
+  std::printf("sweep N = scale * {10k,20k,30k,40k,50k}, scale=%lld\n\n",
+              static_cast<long long>(scale));
+
+  Table table({"N", "seconds", "precision", "classes"});
+  for (int64_t base : {10000, 20000, 30000, 40000, 50000}) {
+    int64_t n = base * scale;
+    DataGenConfig cfg;
+    cfg.num_rows = static_cast<int>(n);
+    cfg.num_antecedents = 2;
+    cfg.num_consequents = 2;
+    cfg.num_senses = 4;
+    cfg.values_per_sense = 6;
+    cfg.classes_per_antecedent = static_cast<int>(n / 20);
+    cfg.sense_overlap = 0.4;
+    cfg.plant_interacting_ofds = true;
+    cfg.error_rate = 0.03;
+    cfg.seed = seed;
+    GeneratedData data = GenerateData(cfg);
+    SynonymIndex index(data.ontology, data.rel.dict());
+
+    SenseAssignmentResult result;
+    double secs = TimeIt([&] {
+      SenseSelector selector(data.rel, index, data.sigma);
+      result = selector.Run();
+    });
+    SenseAccuracy acc = EvaluateSenses(data, index, result);
+    table.AddRow({Fmt("%lld", static_cast<long long>(n)), Fmt("%.3f", secs),
+                  Fmt("%.3f", acc.precision()),
+                  Fmt("%lld", static_cast<long long>(acc.classes))});
+  }
+  table.Print();
+  std::printf("expected shape: runtime ~linear in N (Table 7: 9.3s → 27.2s over\n"
+              "0.2M → 1M on the paper's hardware); precision stays >0.9 and\n"
+              "does not depend on N.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension ablations for OFDClean's sense assignment (DESIGN.md §5):
+//   (a) MAD-deviation value ordering vs raw frequency ordering in
+//       Initial_Assignment (the paper argues MAD is robust to outliers);
+//   (b) EMD-guided local refinement on vs off.
+// Measured on dirty data where bursts of identical erroneous values are
+// injected (the failure mode MAD defends against).
+//
+//   bench_ext_ablation [--rows N] [--seed S]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "clean/sense_assignment.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "ontology/synonym_index.h"
+#include "sense_eval.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 5000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 23));
+
+  Banner("Ext-abl", "sense-assignment ablations (MAD ordering, refinement)",
+         "§6.1 MAD rationale / §6.2 refinement");
+
+  Table table({"err%", "MAD+refine P", "freq+refine P", "MAD-only P",
+               "refinements"});
+  for (int err : {5, 10, 15, 20}) {
+    DataGenConfig cfg;
+    cfg.num_rows = rows;
+    cfg.num_antecedents = 2;
+    cfg.num_consequents = 2;
+    cfg.num_senses = 6;
+    cfg.values_per_sense = 6;
+    cfg.classes_per_antecedent = rows / 25;
+    cfg.sense_overlap = 0.5;
+    cfg.plant_interacting_ofds = true;
+    cfg.error_rate = err / 100.0;
+    // Bursty in-domain errors: the repeated wrong value can outnumber any
+    // single correct value in a class — raw frequency ordering chases it.
+    cfg.in_domain_error_fraction = 1.0;
+    cfg.bursty_errors = true;
+    cfg.seed = seed;
+    GeneratedData data = GenerateData(cfg);
+    SynonymIndex index(data.ontology, data.rel.dict());
+
+    auto run = [&](ValueOrdering ordering, bool refine) {
+      SenseAssignConfig scfg;
+      scfg.theta = 2.0;
+      scfg.ordering = ordering;
+      scfg.refine = refine;
+      SenseSelector selector(data.rel, index, data.sigma, scfg);
+      return selector.Run();
+    };
+    SenseAssignmentResult mad = run(ValueOrdering::kMadDeviation, true);
+    SenseAssignmentResult freq = run(ValueOrdering::kFrequency, true);
+    SenseAssignmentResult norefine = run(ValueOrdering::kMadDeviation, false);
+
+    table.AddRow(
+        {Fmt("%d", err), Fmt("%.3f", EvaluateSenses(data, index, mad).precision()),
+         Fmt("%.3f", EvaluateSenses(data, index, freq).precision()),
+         Fmt("%.3f", EvaluateSenses(data, index, norefine).precision()),
+         Fmt("%lld", static_cast<long long>(mad.refinements))});
+  }
+  table.Print();
+  std::printf("expected shape: MAD ordering is at least as precise as raw\n"
+              "frequency ordering (and pulls ahead as bursty errors grow);\n"
+              "refinement adds a small precision bonus where classes overlap.\n");
+  return 0;
+}

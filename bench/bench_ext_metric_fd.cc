@@ -1,0 +1,65 @@
+// Extension (paper §2 related work): Metric FDs vs synonym OFDs as error
+// detectors. Metric FDs relax equality to edit-distance ≤ δ — enough for
+// typos, not for synonyms. Sweeping δ shows the dilemma the paper points
+// out: small δ keeps flagging synonyms (false positives), large δ starts
+// accepting genuinely different values (false negatives), while the OFD
+// flags exactly the classes with no common sense.
+//
+//   bench_ext_metric_fd [--rows N] [--err RATE] [--seed S]
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "ofd/metric_fd.h"
+#include "ontology/synonym_index.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 4000));
+  double err = flags.GetDouble("err", 0.03);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 27));
+
+  Banner("Ext-mfd", "Metric FDs vs synonym OFDs as error detectors",
+         "§2 relationship to Metric FDs");
+  std::printf("rows=%d, err=%.0f%%\n\n", rows, err * 100);
+
+  DataGenConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_senses = 4;
+  cfg.values_per_sense = 8;
+  cfg.error_rate = err;
+  cfg.seed = seed;
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+
+  Table table({"delta", "mfd-flagged", "ofd-flagged", "mfd-false-pos",
+               "mfd-missed", "tuples"});
+  for (int delta : {0, 2, 4, 6, 8, 10}) {
+    MetricComparison total;
+    for (const Ofd& ofd : data.sigma) {
+      MetricComparison cmp = CompareMetricVsOfd(data.rel, index, ofd, delta);
+      total.tuples += cmp.tuples;
+      total.mfd_flagged += cmp.mfd_flagged;
+      total.ofd_flagged += cmp.ofd_flagged;
+      total.mfd_only += cmp.mfd_only;
+      total.ofd_only += cmp.ofd_only;
+    }
+    table.AddRow({Fmt("%d", delta),
+                  Fmt("%lld", static_cast<long long>(total.mfd_flagged)),
+                  Fmt("%lld", static_cast<long long>(total.ofd_flagged)),
+                  Fmt("%lld", static_cast<long long>(total.mfd_only)),
+                  Fmt("%lld", static_cast<long long>(total.ofd_only)),
+                  Fmt("%lld", static_cast<long long>(total.tuples))});
+  }
+  table.Print();
+  std::printf("expected shape: at δ=0 the MFD is the FD and flags every\n"
+              "synonym class (max false positives); growing δ trades synonym\n"
+              "false positives for missed real errors; the OFD column is flat\n"
+              "— it flags exactly the classes broken by injected errors.\n");
+  return 0;
+}

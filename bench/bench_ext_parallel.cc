@@ -1,0 +1,71 @@
+// Extension: parallel candidate verification in FastOFD. Validations of
+// different candidates within a lattice level are independent; results are
+// applied in a deterministic order, so output is identical for any thread
+// count (asserted in tests). This harness measures the speedup.
+//
+//   bench_ext_parallel [--rows N] [--seed S]
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "ontology/synonym_index.h"
+
+using namespace fastofd;
+using namespace fastofd::bench;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  int rows = static_cast<int>(flags.GetInt("rows", 20000));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 25));
+
+  Banner("Ext-par", "parallel candidate verification speedup", "extension");
+
+  DataGenConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_antecedents = 3;
+  cfg.num_consequents = 4;
+  cfg.num_noise_attrs = 2;
+  cfg.num_senses = 8;
+  cfg.values_per_sense = 10;
+  cfg.classes_per_antecedent = 24;
+  cfg.error_rate = 0.0;
+  cfg.seed = seed;
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("rows=%d, attrs=%d, hardware threads=%u\n", data.rel.num_rows(),
+              data.rel.num_attrs(), hw);
+  if (hw <= 1) {
+    std::printf("NOTE: single-CPU machine — thread counts beyond 1 can only\n"
+                "add overhead here; the sweep still demonstrates that output\n"
+                "is identical across thread counts.\n");
+  }
+  std::printf("\n");
+
+  Table table({"threads", "seconds", "speedup", "ofds"});
+  double base = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    FastOfdConfig fcfg;
+    fcfg.num_threads = threads;
+    FastOfdResult result;
+    double secs = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      secs = std::min(secs, TimeIt([&] {
+               result = FastOfd(data.rel, index, fcfg).Discover();
+             }));
+    }
+    if (threads == 1) base = secs;
+    table.AddRow({Fmt("%d", threads), Fmt("%.3f", secs),
+                  Fmt("%.2fx", base / secs), Fmt("%zu", result.ofds.size())});
+  }
+  table.Print();
+  std::printf("expected shape: speedup grows with threads until partition\n"
+              "products (serial, per level) dominate; output is identical for\n"
+              "every thread count.\n");
+  return 0;
+}

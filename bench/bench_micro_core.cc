@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath
+// every experiment: partition construction and products, OFD closure,
+// synonym-OFD verification, EMD, and initial sense assignment.
+
+#include <benchmark/benchmark.h>
+
+#include "clean/emd.h"
+#include "clean/sense_assignment.h"
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "ofd/inference.h"
+#include "ofd/verifier.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+
+namespace fastofd {
+namespace {
+
+GeneratedData MakeData(int rows) {
+  DataGenConfig cfg;
+  cfg.num_rows = rows;
+  cfg.num_antecedents = 3;
+  cfg.num_consequents = 2;
+  cfg.num_senses = 4;
+  cfg.classes_per_antecedent = 16;
+  cfg.error_rate = 0.02;
+  cfg.seed = 99;
+  return GenerateData(cfg);
+}
+
+void BM_PartitionBuild(benchmark::State& state) {
+  GeneratedData data = MakeData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StrippedPartition::Build(data.rel, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PartitionProduct(benchmark::State& state) {
+  GeneratedData data = MakeData(static_cast<int>(state.range(0)));
+  StrippedPartition a = StrippedPartition::Build(data.rel, 0);
+  StrippedPartition b = StrippedPartition::Build(data.rel, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StrippedPartition::Product(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionProduct)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_OfdClosure(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Dependency> sigma;
+  for (int i = 0; i < state.range(0); ++i) {
+    AttrSet lhs, rhs;
+    for (int a = 0; a < 16; ++a) {
+      if (rng.NextBernoulli(0.2)) lhs = lhs.With(a);
+      if (rng.NextBernoulli(0.2)) rhs = rhs.With(a);
+    }
+    sigma.push_back({lhs, rhs});
+  }
+  AttrSet x = AttrSet::Of({0, 3, 5, 7, 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Closure(x, sigma));
+  }
+}
+BENCHMARK(BM_OfdClosure)->Arg(16)->Arg(256);
+
+void BM_SynonymOfdVerification(benchmark::State& state) {
+  GeneratedData data = MakeData(static_cast<int>(state.range(0)));
+  SynonymIndex index(data.ontology, data.rel.dict());
+  OfdVerifier verifier(data.rel, index);
+  StrippedPartition p = StrippedPartition::BuildForSet(data.rel, data.sigma[0].lhs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Holds(data.sigma[0], p));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SynonymOfdVerification)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ApproximateSupport(benchmark::State& state) {
+  GeneratedData data = MakeData(static_cast<int>(state.range(0)));
+  SynonymIndex index(data.ontology, data.rel.dict());
+  OfdVerifier verifier(data.rel, index);
+  StrippedPartition p = StrippedPartition::BuildForSet(data.rel, data.sigma[0].lhs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Support(data.sigma[0], p));
+  }
+}
+BENCHMARK(BM_ApproximateSupport)->Arg(1000)->Arg(10000);
+
+void BM_CategoricalEmd(benchmark::State& state) {
+  Rng rng(5);
+  ValueHistogram p, q;
+  for (int i = 0; i < state.range(0); ++i) {
+    p[static_cast<ValueId>(i)] = static_cast<int64_t>(rng.NextUint(50));
+    q[static_cast<ValueId>(rng.NextUint(static_cast<uint64_t>(state.range(0))))] =
+        static_cast<int64_t>(rng.NextUint(50));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CategoricalEmd(p, q));
+  }
+}
+BENCHMARK(BM_CategoricalEmd)->Arg(16)->Arg(256);
+
+void BM_InitialSenseAssignment(benchmark::State& state) {
+  GeneratedData data = MakeData(10000);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  StrippedPartition p = StrippedPartition::BuildForSet(data.rel, data.sigma[0].lhs);
+  const auto& rows = p.classes().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SenseSelector::InitialAssignment(data.rel, index, rows, data.sigma[0].rhs));
+  }
+}
+BENCHMARK(BM_InitialSenseAssignment);
+
+}  // namespace
+}  // namespace fastofd
+
+BENCHMARK_MAIN();

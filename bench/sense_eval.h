@@ -1,0 +1,85 @@
+// Shared accuracy evaluation for the sense-selection experiments
+// (Exp-6..Exp-8): compares a SenseAssignmentResult with the generator's
+// ground-truth senses.
+//
+// A class's assignment is *correct* when it names the true generating sense
+// or any sense that covers every clean value of the class (overlapping
+// senses can be equally valid interpretations). Recall follows the paper:
+// every class that received a sense counts as recalled.
+
+#ifndef FASTOFD_BENCH_SENSE_EVAL_H_
+#define FASTOFD_BENCH_SENSE_EVAL_H_
+
+#include <string>
+
+#include "clean/sense_assignment.h"
+#include "datagen/datagen.h"
+#include "ontology/synonym_index.h"
+
+namespace fastofd::bench {
+
+struct SenseAccuracy {
+  int64_t classes = 0;
+  int64_t assigned = 0;
+  int64_t correct = 0;
+
+  double precision() const {
+    return assigned == 0 ? 1.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(assigned);
+  }
+  double recall() const {
+    return classes == 0 ? 1.0
+                        : static_cast<double>(assigned) /
+                              static_cast<double>(classes);
+  }
+};
+
+inline SenseAccuracy EvaluateSenses(const GeneratedData& data,
+                                    const SynonymIndex& index,
+                                    const SenseAssignmentResult& result) {
+  SenseAccuracy acc;
+  const Schema& schema = data.rel.schema();
+  // Recover the generator's layout: antecedents CTX0..CTX{A-1}, consequent
+  // column j named VALj, class key "<j>:<CTX_{j mod A} value>".
+  int num_antecedents = 0;
+  while (schema.Find("CTX" + std::to_string(num_antecedents)) >= 0) {
+    ++num_antecedents;
+  }
+  for (size_t i = 0; i < data.sigma.size(); ++i) {
+    const auto& classes = result.partitions[i].classes();
+    AttrId rhs = data.sigma[i].rhs;
+    int j = std::stoi(schema.name(rhs).substr(3));
+    AttrId lhs = schema.Find("CTX" + std::to_string(j % num_antecedents));
+    for (size_t c = 0; c < classes.size(); ++c) {
+      ++acc.classes;
+      SenseId assigned = result.senses[i][c];
+      if (assigned == kInvalidSense) continue;
+      ++acc.assigned;
+      std::string key = std::to_string(j) + ":" +
+                        data.rel.StringAt(classes[c][0], lhs);
+      auto it = data.true_senses.find(key);
+      if (it != data.true_senses.end() && it->second == assigned) {
+        ++acc.correct;
+        continue;
+      }
+      // Alternative interpretation: covers every *clean* value of the class.
+      bool covers_all = true;
+      for (RowId r : classes[c]) {
+        ValueId v = data.clean_rel.dict().Lookup(data.clean_rel.StringAt(r, rhs));
+        ValueId in_rel = data.rel.dict().Lookup(data.clean_rel.StringAt(r, rhs));
+        (void)v;
+        if (in_rel == kInvalidValue || !index.SenseContains(assigned, in_rel)) {
+          covers_all = false;
+          break;
+        }
+      }
+      if (covers_all) ++acc.correct;
+    }
+  }
+  return acc;
+}
+
+}  // namespace fastofd::bench
+
+#endif  // FASTOFD_BENCH_SENSE_EVAL_H_

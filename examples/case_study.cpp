@@ -1,0 +1,126 @@
+// Case study: the full contextual-cleaning workflow on a clinical-trials-
+// shaped dataset — discover rules on (mostly) clean data, watch updates
+// break them, inspect the sense assignment, repair, and audit the result
+// against ground truth. Mirrors the narrative of the paper's §1 and §8.
+//
+//   ./example_case_study [--rows N] [--err RATE] [--inc RATE]
+
+#include <cstdio>
+
+#include "clean/repair.h"
+#include "clean/sense_assignment.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "ofd/sigma_io.h"
+#include "ofd/verifier.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+
+using namespace fastofd;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  DataGenConfig config;
+  config.num_rows = static_cast<int>(flags.GetInt("rows", 2000));
+  config.num_antecedents = 2;
+  config.num_consequents = 2;
+  config.num_noise_attrs = 1;
+  config.num_key_attrs = 1;
+  config.num_senses = 4;
+  config.error_rate = flags.GetDouble("err", 0.04);
+  config.incompleteness_rate = flags.GetDouble("inc", 0.06);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 2026));
+  GeneratedData data = GenerateClinical(config);
+  const Schema& schema = data.rel.schema();
+
+  std::printf("== 1. The data ==\n");
+  std::printf("%d clinical trial records; schema:", data.rel.num_rows());
+  for (const auto& name : schema.names()) std::printf(" %s", name.c_str());
+  std::printf("\nontology: %d senses over %zu medication codes (%zu codes "
+              "missing after a stale sync)\n\n",
+              data.ontology.num_senses(), data.ontology.num_values(),
+              data.removed_values.size());
+
+  // 2. Discover rules on the dirty instance (approximate, kappa=0.9).
+  std::printf("== 2. Rule discovery (FastOFD, κ=0.9) ==\n");
+  SynonymIndex index(data.ontology, data.rel.dict());
+  FastOfdConfig fcfg;
+  fcfg.min_support = 0.9;
+  fcfg.max_level = 3;  // Compact rules only (Exp-4 guidance).
+  FastOfdResult discovered = FastOfd(data.rel, index, fcfg).Discover();
+  std::printf("%zu compact approximate OFDs; a curator keeps the planted "
+              "business rules:\n%s\n",
+              discovered.ofds.size(),
+              WriteSigma(data.sigma, schema).c_str());
+
+  // 3. Violation report.
+  std::printf("== 3. Violations ==\n");
+  OfdVerifier verifier(data.rel, index);
+  for (const Ofd& ofd : data.sigma) {
+    StrippedPartition p = StrippedPartition::BuildForSet(data.rel, ofd.lhs);
+    int64_t bad = 0;
+    for (const auto& rows : p.classes()) {
+      bad += !verifier.HoldsInClass(rows, ofd.rhs, ofd.kind);
+    }
+    std::printf("  %-28s %lld of %lld classes violated (support %.3f)\n",
+                RenderOfd(ofd, schema).c_str(), static_cast<long long>(bad),
+                static_cast<long long>(p.num_classes()),
+                verifier.Support(ofd, p));
+  }
+
+  // 4. Sense assignment.
+  std::printf("\n== 4. Sense assignment ==\n");
+  SenseSelector selector(data.rel, index, data.sigma);
+  SenseAssignmentResult senses = selector.Run();
+  int64_t assigned = 0, classes = 0;
+  for (const auto& per_ofd : senses.senses) {
+    for (SenseId s : per_ofd) {
+      ++classes;
+      assigned += (s != kInvalidSense);
+    }
+  }
+  std::printf("%lld of %lld equivalence classes received an interpretation "
+              "(%lld refinements)\n",
+              static_cast<long long>(assigned), static_cast<long long>(classes),
+              static_cast<long long>(senses.refinements));
+
+  // 5. Repair.
+  std::printf("\n== 5. OFDClean repair ==\n");
+  OfdCleanConfig clean_config;
+  // Demand candidate support in >=2 classes: a genuinely missing code
+  // occurs across many trials, a one-off typo does not.
+  clean_config.min_candidate_classes = 2;
+  OfdClean cleaner(data.rel, data.ontology, data.sigma, clean_config);
+  OfdCleanResult repair = cleaner.Run();
+  std::printf("Pareto frontier:");
+  for (const ParetoPoint& p : repair.pareto) {
+    std::printf("  (S:%lld, I:%lld)", static_cast<long long>(p.ontology_changes),
+                static_cast<long long>(p.data_changes));
+  }
+  std::printf("\nchosen: %zu ontology insertions + %lld cell updates (%s)\n",
+              repair.best.ontology_additions.size(),
+              static_cast<long long>(repair.best.data_changes),
+              repair.best.consistent ? "consistent" : "NOT consistent");
+  for (const OntologyAddition& add : repair.best.ontology_additions) {
+    std::printf("  ontology: '%s' -> sense '%s'\n",
+                data.rel.dict().String(add.value).c_str(),
+                data.ontology.sense_name(add.sense).c_str());
+  }
+
+  // 6. Audit against ground truth.
+  std::printf("\n== 6. Audit ==\n");
+  std::vector<std::pair<std::string, std::string>> adds;
+  for (const OntologyAddition& add : repair.best.ontology_additions) {
+    adds.emplace_back(data.ontology.sense_name(add.sense),
+                      data.rel.dict().String(add.value));
+  }
+  RepairScore score = ScoreFullRepair(data, repair.best.repaired, adds);
+  std::printf("injected errors + missing codes: %lld; repairs made: %lld; "
+              "correct: %lld\nprecision %.3f, recall %.3f\n",
+              static_cast<long long>(score.total_errors),
+              static_cast<long long>(score.total_changes),
+              static_cast<long long>(score.correct_changes), score.precision(),
+              score.recall());
+  return 0;
+}

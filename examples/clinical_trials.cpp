@@ -1,0 +1,92 @@
+// Contextual cleaning walkthrough of the paper's running example
+// (Examples 1.1/1.2): the updated clinical-trials table violates
+// [SYMP,DIAG] ->syn [MED], and OFDClean resolves it with a Pareto set of
+// ontology + data repairs.
+
+#include <cstdio>
+#include <string>
+
+#include "clean/repair.h"
+#include "ofd/verifier.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "relation/relation.h"
+
+using namespace fastofd;
+
+int main() {
+  std::string dir(FASTOFD_DATA_DIR);
+  CsvTable table = ReadCsvFile(dir + "/clinical_trials.csv").value();
+  table.header.erase(table.header.begin());
+  for (auto& row : table.rows) row.erase(row.begin());
+  Relation rel = Relation::FromCsv(table).value();
+  Ontology ontology =
+      ParseOntology(
+          WriteOntology(ReadOntologyFile(dir + "/drug_ontology.txt").value()) +
+          WriteOntology(ReadOntologyFile(dir + "/country_ontology.txt").value()))
+          .value();
+
+  const Schema& schema = rel.schema();
+  SigmaSet sigma = {
+      {AttrSet::Single(schema.Find("CC")), schema.Find("CTRY"), OfdKind::kSynonym},
+      {AttrSet::Of({schema.Find("SYMP"), schema.Find("DIAG")}), schema.Find("MED"),
+       OfdKind::kSynonym},
+  };
+
+  std::printf("Σ:\n");
+  for (const Ofd& ofd : sigma) std::printf("  %s\n", RenderOfd(ofd, schema).c_str());
+
+  // Detect the violation: tuples t8-t11 carry {cartia, ASA, tiazac, adizem}
+  // which share no sense.
+  SynonymIndex index(ontology, rel.dict());
+  OfdVerifier verifier(rel, index);
+  std::printf("\nBefore cleaning:\n");
+  for (const Ofd& ofd : sigma) {
+    std::printf("  %s : %s\n", RenderOfd(ofd, schema).c_str(),
+                verifier.Holds(ofd) ? "satisfied" : "VIOLATED");
+  }
+
+  // Run OFDClean.
+  OfdCleanConfig config;
+  config.beam_size = 3;
+  OfdClean cleaner(rel, ontology, sigma, config);
+  OfdCleanResult result = cleaner.Run();
+
+  std::printf("\nOntology-repair candidates |Cand(S)| = %lld\n",
+              static_cast<long long>(result.num_candidates));
+  std::printf("Pareto frontier (dist(S,S'), dist(I,I')):\n");
+  for (const ParetoPoint& p : result.pareto) {
+    std::printf("  (%lld ontology insertions, %lld data changes)\n",
+                static_cast<long long>(p.ontology_changes),
+                static_cast<long long>(p.data_changes));
+  }
+
+  std::printf("\nChosen repair:\n");
+  for (const OntologyAddition& add : result.best.ontology_additions) {
+    std::printf("  ontology: add '%s' under sense '%s'\n",
+                rel.dict().String(add.value).c_str(),
+                ontology.sense_name(add.sense).c_str());
+  }
+  for (RowId r = 0; r < rel.num_rows(); ++r) {
+    for (int a = 0; a < rel.num_attrs(); ++a) {
+      if (rel.StringAt(r, a) != result.best.repaired.StringAt(r, a)) {
+        std::printf("  data: t%d[%s] '%s' -> '%s'\n", r + 1,
+                    schema.name(a).c_str(), rel.StringAt(r, a).c_str(),
+                    result.best.repaired.StringAt(r, a).c_str());
+      }
+    }
+  }
+
+  // Verify the repaired instance.
+  SynonymIndex repaired_index(ontology, rel.dict());
+  for (const OntologyAddition& add : result.best.ontology_additions) {
+    repaired_index.AddValue(add.sense, add.value);
+  }
+  OfdVerifier after(result.best.repaired, repaired_index);
+  std::printf("\nAfter cleaning:\n");
+  for (const Ofd& ofd : sigma) {
+    std::printf("  %s : %s\n", RenderOfd(ofd, schema).c_str(),
+                after.Holds(ofd) ? "satisfied" : "VIOLATED");
+  }
+  return 0;
+}

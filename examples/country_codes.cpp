@@ -1,0 +1,86 @@
+// Kiva-style scenario: a loans table where country names appear in several
+// legitimate spellings. A traditional-FD cleaner flags every synonym as an
+// error; OFDs keep them, and OFDClean only repairs genuine mistakes.
+//
+//   ./example_country_codes [--rows N] [--err RATE]
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "clean/holoclean_lite.h"
+#include "clean/repair.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "ofd/verifier.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+
+using namespace fastofd;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  DataGenConfig config;
+  config.num_rows = static_cast<int>(flags.GetInt("rows", 2000));
+  config.error_rate = flags.GetDouble("err", 0.03);
+  config.num_antecedents = 2;   // e.g. country code, sector
+  config.num_consequents = 2;   // e.g. country name, currency
+  config.num_senses = 5;        // naming standards (ISO, UN, local, ...)
+  config.values_per_sense = 6;
+  config.seed = 2024;
+  GeneratedData data = GenerateData(config);
+
+  std::printf("Generated %d loans; %zu cells perturbed (err%% = %.1f%%).\n",
+              data.rel.num_rows(), data.errors.size(), config.error_rate * 100);
+
+  // How many tuples would a pure-FD cleaner flag?
+  // Per class, an FD cleaner must touch every tuple deviating from the
+  // majority value; an OFD cleaner only the tuples outside the best sense.
+  SynonymIndex index(data.ontology, data.rel.dict());
+  int64_t fd_flagged = 0, ofd_flagged = 0, total = 0;
+  for (const Ofd& ofd : data.sigma) {
+    StrippedPartition p = StrippedPartition::BuildForSet(data.rel, ofd.lhs);
+    for (const auto& rows : p.classes()) {
+      total += static_cast<int64_t>(rows.size());
+      std::unordered_map<ValueId, int64_t> literal;
+      std::unordered_map<SenseId, int64_t> by_sense;
+      for (RowId r : rows) {
+        ValueId v = data.rel.At(r, ofd.rhs);
+        ++literal[v];
+        for (SenseId s : index.Senses(v)) ++by_sense[s];
+      }
+      int64_t best_literal = 0, best_sense = 0;
+      for (const auto& [_, c] : literal) best_literal = std::max(best_literal, c);
+      for (const auto& [_, c] : by_sense) best_sense = std::max(best_sense, c);
+      fd_flagged += static_cast<int64_t>(rows.size()) - best_literal;
+      ofd_flagged += static_cast<int64_t>(rows.size()) -
+                     std::max(best_literal, best_sense);
+    }
+  }
+  std::printf("\nError detection over %lld tuples in non-singleton classes:\n",
+              static_cast<long long>(total));
+  std::printf("  traditional FDs flag %lld tuples (%.1f%%)\n",
+              static_cast<long long>(fd_flagged),
+              100.0 * static_cast<double>(fd_flagged) / static_cast<double>(total));
+  std::printf("  synonym OFDs flag    %lld tuples (%.1f%%) — the difference is "
+              "false positives avoided\n",
+              static_cast<long long>(ofd_flagged),
+              100.0 * static_cast<double>(ofd_flagged) / static_cast<double>(total));
+
+  // Repair with OFDClean vs the HoloClean-style baseline.
+  OfdClean cleaner(data.rel, data.ontology, data.sigma);
+  OfdCleanResult oc = cleaner.Run();
+  RepairScore oc_score = ScoreRepair(data, oc.best.repaired);
+
+  HoloCleanLiteResult hc = HoloCleanLite(data.rel, data.ontology, data.sigma);
+  RepairScore hc_score = ScoreRepair(data, hc.repaired);
+
+  std::printf("\nRepair quality vs ground truth:\n");
+  std::printf("  %-14s precision %.3f  recall %.3f  (%lld cells changed)\n",
+              "OFDClean", oc_score.precision(), oc_score.recall(),
+              static_cast<long long>(oc.best.data_changes));
+  std::printf("  %-14s precision %.3f  recall %.3f  (%lld cells changed)\n",
+              "HoloCleanLite", hc_score.precision(), hc_score.recall(),
+              static_cast<long long>(hc.cells_changed));
+  return 0;
+}

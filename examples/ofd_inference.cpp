@@ -1,0 +1,63 @@
+// OFD axiomatic reasoning: attribute closures, implication testing, and
+// minimal covers (paper §3), on the clinical-trials schema.
+
+#include <cstdio>
+
+#include "ofd/inference.h"
+#include "ofd/ofd.h"
+#include "relation/schema.h"
+
+using namespace fastofd;
+
+int main() {
+  Schema schema({"CC", "CTRY", "SYMP", "DIAG", "MED"});
+  const AttrId CC = 0, CTRY = 1, SYMP = 2, DIAG = 3, MED = 4;
+
+  SigmaSet sigma = {
+      {AttrSet::Single(CC), CTRY, OfdKind::kSynonym},
+      {AttrSet::Of({SYMP, DIAG}), MED, OfdKind::kSynonym},
+      // Redundant: follows from the two above by Composition.
+      {AttrSet::Of({CC, SYMP, DIAG}), CTRY, OfdKind::kSynonym},
+      {AttrSet::Of({CC, SYMP, DIAG}), MED, OfdKind::kSynonym},
+  };
+
+  std::printf("Σ:\n");
+  for (const Ofd& ofd : sigma) std::printf("  %s\n", RenderOfd(ofd, schema).c_str());
+
+  // Closures (Algorithm 1).
+  std::printf("\nClosures:\n");
+  for (AttrSet x : {AttrSet::Single(CC), AttrSet::Of({SYMP, DIAG}),
+                    AttrSet::Of({CC, SYMP, DIAG})}) {
+    AttrSet closure = Closure(x, ToDependencies(sigma));
+    std::printf("  %s+ = %s\n", schema.Render(x).c_str(),
+                schema.Render(closure).c_str());
+  }
+
+  // Implication tests (Lemma 3.2: Σ ⊨ X→Y iff Y ⊆ X+).
+  std::printf("\nImplication:\n");
+  struct Query {
+    Ofd ofd;
+  } queries[] = {
+      {{AttrSet::Of({CC, SYMP, DIAG}), MED, OfdKind::kSynonym}},
+      {{AttrSet::Single(CC), MED, OfdKind::kSynonym}},
+      {{AttrSet::Of({SYMP, DIAG}), CTRY, OfdKind::kSynonym}},
+  };
+  for (const Query& q : queries) {
+    std::printf("  Σ ⊨ %s ? %s\n", RenderOfd(q.ofd, schema).c_str(),
+                ImpliesOfd(sigma, q.ofd) ? "yes" : "no");
+  }
+
+  // Minimal cover (Definition 3.7): the composed OFD is dropped.
+  SigmaSet cover = MinimalCover(sigma);
+  std::printf("\nMinimal cover (%zu of %zu kept):\n", cover.size(), sigma.size());
+  for (const Ofd& ofd : cover) std::printf("  %s\n", RenderOfd(ofd, schema).c_str());
+
+  // Note on transitivity: unlike FDs, OFDs admit no Transitivity axiom —
+  // A->B and B->C do NOT imply A->C (see §3.1 and the verifier tests).
+  SigmaSet chain = {{AttrSet::Single(CC), CTRY, OfdKind::kSynonym},
+                    {AttrSet::Single(CTRY), MED, OfdKind::kSynonym}};
+  Ofd transitive{AttrSet::Single(CC), MED, OfdKind::kSynonym};
+  std::printf("\nTransitivity probe: {CC->CTRY, CTRY->MED} ⊨ CC->MED ? %s\n",
+              ImpliesOfd(chain, transitive) ? "yes" : "no (as expected)");
+  return 0;
+}

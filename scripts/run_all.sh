@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every benchmark harness,
+# and records the outputs the repository ships with:
+#   test_output.txt   — ctest results
+#   bench_output.txt  — all bench/ binaries, in order
+#
+# Usage: scripts/run_all.sh [build-dir]
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD_DIR"/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "================================================================" \
+    | tee -a bench_output.txt
+  echo "\$ $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

@@ -1,0 +1,38 @@
+#include "clean/emd.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+double CategoricalEmd(const ValueHistogram& p, const ValueHistogram& q) {
+  int64_t l1 = 0;
+  int64_t mass_p = 0, mass_q = 0;
+  for (const auto& [v, c] : p) {
+    mass_p += c;
+    auto it = q.find(v);
+    l1 += std::abs(c - (it == q.end() ? 0 : it->second));
+  }
+  for (const auto& [v, c] : q) {
+    mass_q += c;
+    if (!p.count(v)) l1 += c;
+  }
+  int64_t diff = std::abs(mass_p - mass_q);
+  // Matched mass moves cost (l1 - diff) / 2; surplus mass costs diff.
+  return static_cast<double>(l1 - diff) / 2.0 + static_cast<double>(diff);
+}
+
+double OrderedEmd(const std::vector<double>& p, const std::vector<double>& q) {
+  FASTOFD_CHECK(p.size() == q.size());
+  double carry = 0.0;
+  double work = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    carry += p[i] - q[i];
+    work += std::fabs(carry);
+  }
+  return work;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,36 @@
+// Earth Mover's Distance between value distributions (paper §6.2.2).
+//
+// OFDClean models the tuples shared by two equivalence classes as
+// distributions over canonical values and uses EMD to rank which class
+// pairs to refine. For categorical histograms with unit ground distance the
+// EMD of two equal-mass histograms is half the L1 distance; for unequal
+// masses the surplus also costs one move per unit. A classic 1-D
+// ordered-bin EMD is provided as well (and tested against the closed form).
+
+#ifndef FASTOFD_CLEAN_EMD_H_
+#define FASTOFD_CLEAN_EMD_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dictionary.h"
+
+namespace fastofd {
+
+/// Histogram over categorical values (counts).
+using ValueHistogram = std::unordered_map<ValueId, int64_t>;
+
+/// EMD between two categorical histograms with unit cross-bin distance:
+/// moves = (L1 distance + |mass difference|) / 2; with equal masses this is
+/// exactly half the L1 distance.
+double CategoricalEmd(const ValueHistogram& p, const ValueHistogram& q);
+
+/// EMD between 1-D histograms over ordered bins with |i-j| ground distance
+/// (the prefix-sum formula). The two histograms must have the same number
+/// of bins; masses may differ (the surplus is charged one move per unit).
+double OrderedEmd(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_CLEAN_EMD_H_

@@ -1,0 +1,62 @@
+#include "clean/holoclean_lite.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+
+namespace fastofd {
+
+HoloCleanLiteResult HoloCleanLite(const Relation& rel, const Ontology& dictionary,
+                                  const SigmaSet& sigma, HoloCleanLiteConfig config) {
+  HoloCleanLiteResult result{rel, 0, 0};
+  Relation& out = result.repaired;
+  SynonymIndex dict_index(dictionary, rel.dict());
+
+  // Global frequency prior per attribute.
+  std::vector<std::unordered_map<ValueId, int64_t>> prior(
+      static_cast<size_t>(rel.num_attrs()));
+  for (int a = 0; a < rel.num_attrs(); ++a) {
+    for (RowId r = 0; r < rel.num_rows(); ++r) ++prior[static_cast<size_t>(a)][rel.At(r, a)];
+  }
+
+  for (const Ofd& ofd : sigma) {
+    StrippedPartition partition = StrippedPartition::BuildForSet(out, ofd.lhs);
+    for (const auto& rows : partition.classes()) {
+      // Denial-constraint violation: syntactically differing consequents.
+      std::unordered_map<ValueId, int64_t> cooc;
+      for (RowId r : rows) ++cooc[out.At(r, ofd.rhs)];
+      if (cooc.size() <= 1) continue;  // Clean under equality semantics.
+      result.cells_flagged += static_cast<int64_t>(rows.size());
+
+      // Score every candidate value occurring with this antecedent class:
+      // P(v) ∝ (cooc + smoothing) · prior · dictionary boost.
+      std::unordered_map<ValueId, double> scores;
+      ValueId best = kInvalidValue;
+      double best_score = -1.0;
+      for (const auto& [v, count] : cooc) {
+        double score = (static_cast<double>(count) + config.smoothing) *
+                       static_cast<double>(prior[static_cast<size_t>(ofd.rhs)][v]);
+        if (dict_index.InOntology(v)) score *= config.dictionary_boost;
+        scores[v] = score;
+        if (score > best_score || (score == best_score && v < best)) {
+          best_score = score;
+          best = v;
+        }
+      }
+      // Repair only low-confidence deviations: the most probable value must
+      // beat the current value by the margin (posterior thresholding).
+      for (RowId r : rows) {
+        ValueId v = out.At(r, ofd.rhs);
+        if (v != best && best_score >= config.repair_margin * scores[v]) {
+          out.SetId(r, ofd.rhs, best);
+          ++result.cells_changed;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,350 @@
+#include "clean/repair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "ofd/verifier.h"
+
+namespace fastofd {
+
+namespace {
+
+// Best repair value for a class under sense λ: the most frequent value of
+// the class covered by λ; falls back to the sense's canonical value, then to
+// the class majority value (λ invalid / nothing covered).
+ValueId RepairValue(const Relation& rel, const SynonymIndex& index,
+                    const std::vector<RowId>& rows, AttrId rhs, SenseId sense) {
+  std::unordered_map<ValueId, int64_t> freq;
+  for (RowId r : rows) ++freq[rel.At(r, rhs)];
+  ValueId best_covered = kInvalidValue;
+  int64_t best_covered_count = -1;
+  ValueId majority = kInvalidValue;
+  int64_t majority_count = -1;
+  for (const auto& [v, c] : freq) {
+    if (c > majority_count || (c == majority_count && v < majority)) {
+      majority = v;
+      majority_count = c;
+    }
+    if (sense != kInvalidSense && index.SenseContains(sense, v)) {
+      if (c > best_covered_count || (c == best_covered_count && v < best_covered)) {
+        best_covered = v;
+        best_covered_count = c;
+      }
+    }
+  }
+  if (best_covered != kInvalidValue) return best_covered;
+  if (sense != kInvalidSense && !index.SenseValues(sense).empty()) {
+    return *std::min_element(index.SenseValues(sense).begin(),
+                             index.SenseValues(sense).end());
+  }
+  return majority;
+}
+
+}  // namespace
+
+RepairResult RepairData(const Relation& rel, const SynonymIndex& index,
+                        const SigmaSet& sigma, const SenseAssignmentResult& assignment,
+                        int64_t max_changes) {
+  RepairResult result{rel, {}, 0, false, true};
+  Relation& out = result.repaired;
+
+  // ---- Conflict graph + 2-approximate vertex cover (paper §7.2). -----
+  // Edges are generated sparsely per violating class: each uncovered tuple
+  // conflicts with one covered representative (if any) and with its
+  // neighbouring uncovered tuple of a different value; this keeps the graph
+  // linear in the class size while touching every problematic tuple.
+  struct Conflict {
+    RowId a, b;
+    int ofd, cls;
+  };
+  std::vector<Conflict> edges;
+  auto class_violating = [&](const std::vector<RowId>& rows, AttrId rhs,
+                             SenseId sense) {
+    ValueId first = out.At(rows[0], rhs);
+    bool all_equal = true;
+    bool all_covered = sense != kInvalidSense;
+    for (RowId r : rows) {
+      ValueId v = out.At(r, rhs);
+      all_equal &= (v == first);
+      if (all_covered && !index.SenseContains(sense, v)) all_covered = false;
+    }
+    return !all_equal && !all_covered;
+  };
+
+  for (int i = 0; i < static_cast<int>(sigma.size()); ++i) {
+    AttrId rhs = sigma[static_cast<size_t>(i)].rhs;
+    const auto& classes = assignment.partitions[static_cast<size_t>(i)].classes();
+    for (int c = 0; c < static_cast<int>(classes.size()); ++c) {
+      const auto& rows = classes[static_cast<size_t>(c)];
+      SenseId sense = assignment.senses[static_cast<size_t>(i)][static_cast<size_t>(c)];
+      if (!class_violating(rows, rhs, sense)) continue;
+      RowId covered_rep = -1;
+      std::vector<RowId> uncovered;
+      for (RowId r : rows) {
+        ValueId v = out.At(r, rhs);
+        if (sense != kInvalidSense && index.SenseContains(sense, v)) {
+          if (covered_rep < 0) covered_rep = r;
+        } else {
+          uncovered.push_back(r);
+        }
+      }
+      for (size_t u = 0; u < uncovered.size(); ++u) {
+        if (covered_rep >= 0) {
+          edges.push_back(Conflict{uncovered[u], covered_rep, i, c});
+        }
+        if (u + 1 < uncovered.size() &&
+            out.At(uncovered[u], rhs) != out.At(uncovered[u + 1], rhs)) {
+          edges.push_back(Conflict{uncovered[u], uncovered[u + 1], i, c});
+        }
+      }
+    }
+  }
+
+  // 2-approximation: take both endpoints of any uncovered edge.
+  std::unordered_set<RowId> cover;
+  for (const Conflict& e : edges) {
+    if (!cover.count(e.a) && !cover.count(e.b)) {
+      cover.insert(e.a);
+      cover.insert(e.b);
+    }
+  }
+
+  // ---- Repair pass: rewrite covered tuples class by class, then fix up
+  // any residual violations (guarantees consistency). -----------------
+  auto repair_classes = [&](bool only_cover) {
+    for (int i = 0; i < static_cast<int>(sigma.size()); ++i) {
+      AttrId rhs = sigma[static_cast<size_t>(i)].rhs;
+      const auto& classes = assignment.partitions[static_cast<size_t>(i)].classes();
+      for (int c = 0; c < static_cast<int>(classes.size()); ++c) {
+        const auto& rows = classes[static_cast<size_t>(c)];
+        SenseId sense =
+            assignment.senses[static_cast<size_t>(i)][static_cast<size_t>(c)];
+        if (!class_violating(rows, rhs, sense)) continue;
+        ValueId target = RepairValue(out, index, rows, rhs, sense);
+        for (RowId r : rows) {
+          ValueId v = out.At(r, rhs);
+          bool ok = (sense != kInvalidSense && index.SenseContains(sense, v)) ||
+                    v == target;
+          if (ok) continue;
+          if (only_cover && !cover.count(r)) continue;
+          out.SetId(r, rhs, target);
+          ++result.data_changes;
+          if (result.data_changes > max_changes) {
+            result.tau_feasible = false;
+            return;
+          }
+        }
+      }
+    }
+  };
+  repair_classes(/*only_cover=*/true);
+  if (result.tau_feasible) repair_classes(/*only_cover=*/false);
+
+  // Verify consistency of the repair.
+  if (result.tau_feasible) {
+    OfdVerifier verifier(out, index);
+    result.consistent = true;
+    for (size_t i = 0; i < sigma.size() && result.consistent; ++i) {
+      result.consistent = verifier.Holds(sigma[i], assignment.partitions[i]);
+    }
+  }
+  return result;
+}
+
+OfdClean::OfdClean(const Relation& rel, const Ontology& ontology,
+                   const SigmaSet& sigma, OfdCleanConfig config)
+    : rel_(rel), ontology_(ontology), sigma_(sigma), config_(config) {
+  // Scope assumption (paper §5.1): no attribute is both an antecedent of one
+  // OFD and the consequent of another — equivalence classes stay fixed.
+  AttrSet lhs_attrs, rhs_attrs;
+  for (const Ofd& ofd : sigma_) {
+    lhs_attrs = lhs_attrs.Union(ofd.lhs);
+    rhs_attrs = rhs_attrs.With(ofd.rhs);
+  }
+  FASTOFD_CHECK(!lhs_attrs.Intersects(rhs_attrs));
+}
+
+OfdCleanResult OfdClean::Run() {
+  OfdCleanResult result{RepairResult{rel_, {}, 0, false, true}, {}, {}, 0, 0};
+
+  SynonymIndex index(ontology_, rel_.dict());
+  SenseSelector selector(rel_, index, sigma_, SenseAssignConfig{config_.theta});
+  result.assignment = selector.Run();
+
+  // τ budget: fraction of consequent cells.
+  AttrSet rhs_attrs;
+  for (const Ofd& ofd : sigma_) rhs_attrs = rhs_attrs.With(ofd.rhs);
+  int64_t budget = static_cast<int64_t>(
+      config_.tau * static_cast<double>(rhs_attrs.size()) *
+      static_cast<double>(rel_.num_rows()));
+
+  // Cand(S) (paper §7.1): (value, sense) pairs where the value occurs in a
+  // class but is not in S *under the class's assigned sense* — this includes
+  // values known to other senses (Table 5's "ASA (FDA)" candidate). Counted
+  // by occurrence (an insertion can save at most that many data repairs);
+  // only the top max_candidates by count are explored.
+  std::vector<OntologyAddition> candidates;
+  std::vector<int64_t> cand_count;
+  std::vector<int64_t> cand_classes;
+  for (size_t i = 0; i < sigma_.size(); ++i) {
+    AttrId rhs = sigma_[i].rhs;
+    const auto& classes = result.assignment.partitions[i].classes();
+    for (size_t c = 0; c < classes.size(); ++c) {
+      SenseId sense = result.assignment.senses[i][c];
+      if (sense == kInvalidSense) continue;
+      std::vector<size_t> seen_here;
+      for (RowId r : classes[c]) {
+        ValueId v = rel_.At(r, rhs);
+        if (index.SenseContains(sense, v)) continue;
+        OntologyAddition add{sense, v};
+        auto it = std::find(candidates.begin(), candidates.end(), add);
+        size_t pos;
+        if (it == candidates.end()) {
+          pos = candidates.size();
+          candidates.push_back(add);
+          cand_count.push_back(1);
+          cand_classes.push_back(0);
+        } else {
+          pos = static_cast<size_t>(it - candidates.begin());
+          ++cand_count[pos];
+        }
+        if (std::find(seen_here.begin(), seen_here.end(), pos) ==
+            seen_here.end()) {
+          seen_here.push_back(pos);
+          ++cand_classes[pos];
+        }
+      }
+    }
+  }
+  // Class-support filter: localized (single-class) erroneous values are
+  // dropped when min_candidate_classes > 1.
+  if (config_.min_candidate_classes > 1) {
+    std::vector<OntologyAddition> kept;
+    std::vector<int64_t> kept_count;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (cand_classes[i] >= config_.min_candidate_classes) {
+        kept.push_back(candidates[i]);
+        kept_count.push_back(cand_count[i]);
+      }
+    }
+    candidates = std::move(kept);
+    cand_count = std::move(kept_count);
+  }
+  result.num_candidates = static_cast<int64_t>(candidates.size());
+  if (static_cast<int>(candidates.size()) > config_.max_candidates) {
+    std::vector<size_t> order(candidates.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (cand_count[a] != cand_count[b]) return cand_count[a] > cand_count[b];
+      return a < b;
+    });
+    std::vector<OntologyAddition> kept;
+    for (int i = 0; i < config_.max_candidates; ++i) {
+      kept.push_back(candidates[order[static_cast<size_t>(i)]]);
+    }
+    candidates = std::move(kept);
+  }
+
+  // Beam size: secretary rule ⌊w/e⌋, at least 1.
+  int beam = config_.beam_size > 0
+                 ? config_.beam_size
+                 : std::max<int>(1, static_cast<int>(std::floor(
+                                        static_cast<double>(candidates.size()) /
+                                        std::exp(1.0))));
+
+  // Evaluate one candidate ontology repair (set of insertions).
+  auto evaluate = [&](const std::vector<int>& picks) -> RepairResult {
+    for (int p : picks) index.AddValue(candidates[static_cast<size_t>(p)].sense,
+                                       candidates[static_cast<size_t>(p)].value);
+    RepairResult r = RepairData(rel_, index, sigma_, result.assignment, budget);
+    for (int p : picks) index.RemoveValue(candidates[static_cast<size_t>(p)].sense,
+                                          candidates[static_cast<size_t>(p)].value);
+    for (int p : picks) {
+      r.ontology_additions.push_back(candidates[static_cast<size_t>(p)]);
+    }
+    ++result.nodes_evaluated;
+    return r;
+  };
+
+  // Level 0: no ontology repair.
+  struct Node {
+    std::vector<int> picks;
+    int64_t data_changes = 0;
+    bool consistent = false;
+    bool tau_feasible = true;
+  };
+  RepairResult level0 = evaluate({});
+  result.pareto.push_back(ParetoPoint{0, level0.data_changes});
+  Node best_node{{}, level0.data_changes, level0.consistent, level0.tau_feasible};
+  int64_t best_cost = level0.tau_feasible
+                          ? level0.data_changes
+                          : std::numeric_limits<int64_t>::max();
+
+  std::vector<Node> frontier = {Node{{}, level0.data_changes, level0.consistent,
+                                     level0.tau_feasible}};
+  int max_k = std::min<int>(config_.max_repair_size,
+                            static_cast<int>(candidates.size()));
+  for (int k = 1; k <= max_k; ++k) {
+    std::vector<Node> level_nodes;
+    for (const Node& node : frontier) {
+      int start = node.picks.empty() ? 0 : node.picks.back() + 1;
+      for (int p = start; p < static_cast<int>(candidates.size()); ++p) {
+        std::vector<int> picks = node.picks;
+        picks.push_back(p);
+        RepairResult r = evaluate(picks);
+        level_nodes.push_back(
+            Node{std::move(picks), r.data_changes, r.consistent, r.tau_feasible});
+      }
+    }
+    if (level_nodes.empty()) break;
+    std::sort(level_nodes.begin(), level_nodes.end(),
+              [](const Node& a, const Node& b) {
+                if (a.data_changes != b.data_changes) {
+                  return a.data_changes < b.data_changes;
+                }
+                return a.picks < b.picks;
+              });
+    // Per-k Pareto point: the best node at this level.
+    result.pareto.push_back(ParetoPoint{k, level_nodes.front().data_changes});
+    // Track the globally best (k + data changes) feasible repair.
+    const Node& top = level_nodes.front();
+    if (top.tau_feasible && k + top.data_changes < best_cost) {
+      best_cost = k + top.data_changes;
+      best_node = top;
+    }
+    if (top.data_changes == 0) break;  // Cannot improve further.
+    // Diminishing returns: stop once a level fails to reduce data repairs
+    // (the deeper lattice is dominated in the Pareto sense).
+    if (k >= 2 && result.pareto.size() >= 2 &&
+        top.data_changes >=
+            result.pareto[result.pareto.size() - 2].data_changes) {
+      break;
+    }
+    // Keep the top-b nodes for expansion.
+    if (static_cast<int>(level_nodes.size()) > beam) level_nodes.resize(beam);
+    frontier = std::move(level_nodes);
+  }
+
+  // Materialize the best repair.
+  result.best = evaluate(best_node.picks);
+  --result.nodes_evaluated;  // Materialization is not an exploration step.
+
+  // Pareto-filter the per-k minima (dominated points removed).
+  std::vector<ParetoPoint> filtered;
+  int64_t best_data = std::numeric_limits<int64_t>::max();
+  for (const ParetoPoint& p : result.pareto) {
+    if (p.data_changes < best_data) {
+      filtered.push_back(p);
+      best_data = p.data_changes;
+    }
+  }
+  result.pareto = std::move(filtered);
+  return result;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,345 @@
+#include "clean/sense_assignment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "clean/emd.h"
+#include "common/check.h"
+
+namespace fastofd {
+
+namespace {
+
+// Frequency map of consequent values within a class.
+ValueHistogram ClassFrequencies(const Relation& rel, const std::vector<RowId>& rows,
+                                AttrId rhs) {
+  ValueHistogram freq;
+  for (RowId r : rows) ++freq[rel.At(r, rhs)];
+  return freq;
+}
+
+// Values of the class not covered by `sense` — the outliers ρ_{x,λ}.
+std::vector<ValueId> Outliers(const SynonymIndex& index, const ValueHistogram& freq,
+                              SenseId sense) {
+  std::vector<ValueId> out;
+  for (const auto& [v, _] : freq) {
+    if (sense == kInvalidSense || !index.SenseContains(sense, v)) out.push_back(v);
+  }
+  return out;
+}
+
+// Tuples of the class holding an outlier value — |R(x_λ)|.
+int64_t OutlierTuples(const SynonymIndex& index, const ValueHistogram& freq,
+                      SenseId sense) {
+  int64_t n = 0;
+  for (const auto& [v, c] : freq) {
+    if (sense == kInvalidSense || !index.SenseContains(sense, v)) n += c;
+  }
+  return n;
+}
+
+// Canonical value of a sense: its smallest interned member (stable and
+// cheap; any fixed representative works for the EMD comparison).
+ValueId Canonical(const SynonymIndex& index, SenseId sense) {
+  if (sense == kInvalidSense) return kInvalidValue;
+  const std::vector<ValueId>& values = index.SenseValues(sense);
+  if (values.empty()) return kInvalidValue;
+  return *std::min_element(values.begin(), values.end());
+}
+
+// Distribution of rows' consequent values interpreted under `sense`:
+// covered values collapse to the canonical value.
+ValueHistogram Interpret(const Relation& rel, const SynonymIndex& index,
+                         const std::vector<RowId>& rows, AttrId rhs, SenseId sense) {
+  ValueHistogram hist;
+  ValueId canonical = Canonical(index, sense);
+  for (RowId r : rows) {
+    ValueId v = rel.At(r, rhs);
+    if (sense != kInvalidSense && index.SenseContains(sense, v)) {
+      ++hist[canonical];
+    } else {
+      ++hist[v];
+    }
+  }
+  return hist;
+}
+
+}  // namespace
+
+SenseSelector::SenseSelector(const Relation& rel, const SynonymIndex& index,
+                             const SigmaSet& sigma, SenseAssignConfig config)
+    : rel_(rel), index_(index), sigma_(sigma), config_(config) {}
+
+SenseId SenseSelector::InitialAssignment(const Relation& rel,
+                                         const SynonymIndex& index,
+                                         const std::vector<RowId>& rows, AttrId rhs,
+                                         ValueOrdering ordering) {
+  ValueHistogram freq = ClassFrequencies(rel, rows, rhs);
+  std::vector<std::pair<ValueId, int64_t>> ranked(freq.begin(), freq.end());
+  if (ordering == ValueOrdering::kMadDeviation) {
+    // MAD-robust ordering (paper §6.1). The median and MAD are *tuple
+    // weighted* — the statistics of a random tuple's value frequency — so a
+    // long tail of rare erroneous values cannot shift the median away from
+    // the legitimate values (which it does when computed over distinct
+    // values). Values whose frequency deviates from that median by more
+    // than 2·MAD are demoted as outliers; within each group values rank by
+    // frequency.
+    auto weighted_median = [](std::vector<std::pair<int64_t, int64_t>> items) {
+      // items: (statistic, weight); returns the weighted median statistic.
+      std::sort(items.begin(), items.end());
+      int64_t total = 0;
+      for (const auto& [_, w] : items) total += w;
+      int64_t seen = 0;
+      for (const auto& [v, w] : items) {
+        seen += w;
+        if (2 * seen >= total) return v;
+      }
+      return items.back().first;
+    };
+    std::vector<std::pair<int64_t, int64_t>> freq_weighted;
+    freq_weighted.reserve(freq.size());
+    for (const auto& [_, c] : freq) freq_weighted.emplace_back(c, c);
+    int64_t median = weighted_median(freq_weighted);
+    std::vector<std::pair<int64_t, int64_t>> dev_weighted;
+    dev_weighted.reserve(freq.size());
+    for (const auto& [_, c] : freq) {
+      dev_weighted.emplace_back(std::abs(c - median), c);
+    }
+    int64_t mad = weighted_median(dev_weighted);
+    int64_t threshold = std::max<int64_t>(2 * mad, 1);
+    auto outlier = [&](int64_t f) { return std::abs(f - median) > threshold; };
+    std::sort(ranked.begin(), ranked.end(), [&](const auto& a, const auto& b) {
+      bool oa = outlier(a.second), ob = outlier(b.second);
+      if (oa != ob) return !oa;  // Inliers first.
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  } else {
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+
+  // Decreasing-prefix intersection of sense sets (Algorithm 5 main loop).
+  std::vector<SenseId> potential;
+  for (size_t k = ranked.size(); k >= 1; --k) {
+    std::vector<SenseId> inter = index.Senses(ranked[0].first);
+    for (size_t i = 1; i < k && !inter.empty(); ++i) {
+      const std::vector<SenseId>& s = index.Senses(ranked[i].first);
+      std::vector<SenseId> next;
+      std::set_intersection(inter.begin(), inter.end(), s.begin(), s.end(),
+                            std::back_inserter(next));
+      inter = std::move(next);
+    }
+    if (!inter.empty()) {
+      potential = std::move(inter);
+      break;
+    }
+  }
+  if (potential.empty()) {
+    // The top-ranked value has no senses at all; fall back to the first
+    // value (by rank) that is in the ontology.
+    for (const auto& [v, _] : ranked) {
+      if (!index.Senses(v).empty()) {
+        potential = index.Senses(v);
+        break;
+      }
+    }
+  }
+  if (potential.empty()) return kInvalidSense;
+
+  // Tie-break by tuple coverage over the class.
+  SenseId best = kInvalidSense;
+  int64_t best_cover = -1;
+  for (SenseId s : potential) {
+    int64_t cover = 0;
+    for (const auto& [v, c] : freq) {
+      if (index.SenseContains(s, v)) cover += c;
+    }
+    if (cover > best_cover) {
+      best_cover = cover;
+      best = s;
+    }
+  }
+  return best;
+}
+
+SenseAssignmentResult SenseSelector::Run() {
+  SenseAssignmentResult result;
+  const int n_ofds = static_cast<int>(sigma_.size());
+  result.partitions.reserve(static_cast<size_t>(n_ofds));
+  result.senses.resize(static_cast<size_t>(n_ofds));
+
+  // Initial assignment (Algorithm 5) for every class of every OFD.
+  for (int i = 0; i < n_ofds; ++i) {
+    result.partitions.push_back(
+        StrippedPartition::BuildForSet(rel_, sigma_[static_cast<size_t>(i)].lhs));
+    const auto& classes = result.partitions.back().classes();
+    auto& senses = result.senses[static_cast<size_t>(i)];
+    senses.reserve(classes.size());
+    for (const auto& rows : classes) {
+      senses.push_back(InitialAssignment(rel_, index_, rows,
+                                         sigma_[static_cast<size_t>(i)].rhs,
+                                         config_.ordering));
+    }
+  }
+  if (!config_.refine) return result;
+
+  // Dependency graph: nodes are classes; edges connect overlapping classes
+  // of distinct OFDs that share the consequent attribute.
+  struct Edge {
+    ClassRef a, b;
+    std::vector<RowId> overlap;
+    double initial_emd = 0.0;
+  };
+  std::vector<Edge> edges;
+  for (int i = 0; i < n_ofds; ++i) {
+    for (int j = i + 1; j < n_ofds; ++j) {
+      if (sigma_[static_cast<size_t>(i)].rhs != sigma_[static_cast<size_t>(j)].rhs) {
+        continue;
+      }
+      // Map row -> class index for OFD j.
+      std::unordered_map<RowId, int> row_cls;
+      const auto& classes_j = result.partitions[static_cast<size_t>(j)].classes();
+      for (int cj = 0; cj < static_cast<int>(classes_j.size()); ++cj) {
+        for (RowId r : classes_j[static_cast<size_t>(cj)]) row_cls[r] = cj;
+      }
+      const auto& classes_i = result.partitions[static_cast<size_t>(i)].classes();
+      for (int ci = 0; ci < static_cast<int>(classes_i.size()); ++ci) {
+        std::unordered_map<int, std::vector<RowId>> overlaps;
+        for (RowId r : classes_i[static_cast<size_t>(ci)]) {
+          auto it = row_cls.find(r);
+          if (it != row_cls.end()) overlaps[it->second].push_back(r);
+        }
+        for (auto& [cj, rows] : overlaps) {
+          if (rows.size() < 2) continue;  // Single shared tuple: no conflict.
+          edges.push_back(Edge{{i, ci}, {j, cj}, std::move(rows), 0.0});
+        }
+      }
+    }
+  }
+
+  auto edge_emd = [&](const Edge& e) {
+    SenseId sa = result.senses[static_cast<size_t>(e.a.ofd)][static_cast<size_t>(e.a.cls)];
+    SenseId sb = result.senses[static_cast<size_t>(e.b.ofd)][static_cast<size_t>(e.b.cls)];
+    AttrId rhs = sigma_[static_cast<size_t>(e.a.ofd)].rhs;
+    return CategoricalEmd(Interpret(rel_, index_, e.overlap, rhs, sa),
+                          Interpret(rel_, index_, e.overlap, rhs, sb));
+  };
+
+  for (Edge& e : edges) e.initial_emd = edge_emd(e);
+
+  // Visit order: nodes by decreasing summed EMD (Algorithm 7).
+  struct NodeKey {
+    int ofd, cls;
+    bool operator==(const NodeKey& o) const { return ofd == o.ofd && cls == o.cls; }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      return static_cast<size_t>(k.ofd) * 1000003u + static_cast<size_t>(k.cls);
+    }
+  };
+  std::unordered_map<NodeKey, double, NodeKeyHash> node_weight;
+  std::unordered_map<NodeKey, std::vector<int>, NodeKeyHash> incident;
+  for (int ei = 0; ei < static_cast<int>(edges.size()); ++ei) {
+    const Edge& e = edges[static_cast<size_t>(ei)];
+    node_weight[{e.a.ofd, e.a.cls}] += e.initial_emd;
+    node_weight[{e.b.ofd, e.b.cls}] += e.initial_emd;
+    incident[{e.a.ofd, e.a.cls}].push_back(ei);
+    incident[{e.b.ofd, e.b.cls}].push_back(ei);
+  }
+  std::vector<NodeKey> order;
+  order.reserve(node_weight.size());
+  for (const auto& [k, _] : node_weight) order.push_back(k);
+  std::sort(order.begin(), order.end(), [&](const NodeKey& x, const NodeKey& y) {
+    double wx = node_weight[x], wy = node_weight[y];
+    if (wx != wy) return wx > wy;
+    if (x.ofd != y.ofd) return x.ofd < y.ofd;
+    return x.cls < y.cls;
+  });
+
+  // Local_Refinement (Algorithm 6) per node, heaviest first.
+  auto sense_of = [&](ClassRef c) -> SenseId& {
+    return result.senses[static_cast<size_t>(c.ofd)][static_cast<size_t>(c.cls)];
+  };
+  for (const NodeKey& u1 : order) {
+    for (int ei : incident[u1]) {
+      Edge& e = edges[static_cast<size_t>(ei)];
+      double w = edge_emd(e);
+      if (w <= config_.theta) continue;
+      ++result.edges_evaluated;
+      AttrId rhs = sigma_[static_cast<size_t>(e.a.ofd)].rhs;
+      SenseId sa = sense_of(e.a);
+      SenseId sb = sense_of(e.b);
+      ValueHistogram freq = ClassFrequencies(rel_, e.overlap, rhs);
+
+      // Option 1: ontology repair — add every outlier to its sense.
+      int64_t c_ont = static_cast<int64_t>(Outliers(index_, freq, sa).size()) +
+                      static_cast<int64_t>(Outliers(index_, freq, sb).size());
+
+      // Option 2: data repair — update outlier tuples to a value covered by
+      // both senses (infeasible when the senses share no value).
+      int64_t c_data = OutlierTuples(index_, freq, sa) +
+                       OutlierTuples(index_, freq, sb);
+      bool data_feasible = false;
+      if (sa != kInvalidSense && sb != kInvalidSense) {
+        for (ValueId v : index_.SenseValues(sa)) {
+          if (index_.SenseContains(sb, v)) {
+            data_feasible = true;
+            break;
+          }
+        }
+      }
+
+      // Option 3: sense re-assignment, either direction, costed over the
+      // *whole* class (delta of uncovered tuples).
+      const auto& class_a =
+          result.partitions[static_cast<size_t>(e.a.ofd)]
+              .classes()[static_cast<size_t>(e.a.cls)];
+      const auto& class_b =
+          result.partitions[static_cast<size_t>(e.b.ofd)]
+              .classes()[static_cast<size_t>(e.b.cls)];
+      ValueHistogram freq_a = ClassFrequencies(rel_, class_a, rhs);
+      ValueHistogram freq_b = ClassFrequencies(rel_, class_b, rhs);
+      int64_t c_reassign_b = OutlierTuples(index_, freq_b, sa) -
+                             OutlierTuples(index_, freq_b, sb);
+      int64_t c_reassign_a = OutlierTuples(index_, freq_a, sb) -
+                             OutlierTuples(index_, freq_a, sa);
+
+      // Pick the locally cheapest option; only re-assignments are enacted
+      // here (ontology/data repairs belong to the repair phase).
+      int64_t best = c_ont;
+      int option = 1;
+      if (data_feasible && c_data < best) {
+        best = c_data;
+        option = 2;
+      }
+      if (sa != kInvalidSense && c_reassign_b < best) {
+        best = c_reassign_b;
+        option = 3;
+      }
+      if (sb != kInvalidSense && c_reassign_a < best) {
+        best = c_reassign_a;
+        option = 4;
+      }
+      if (option == 3 || option == 4) {
+        ClassRef target = option == 3 ? e.b : e.a;
+        SenseId new_sense = option == 3 ? sa : sb;
+        SenseId old_sense = sense_of(target);
+        sense_of(target) = new_sense;
+        double w_new = edge_emd(e);
+        if (w_new < w) {
+          ++result.refinements;
+        } else {
+          sense_of(target) = old_sense;  // Keep the initial sense.
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,91 @@
+// Sense assignment for OFDClean (paper §6, Algorithms 5–7).
+//
+// Every equivalence class x of every OFD X ->_syn A gets an interpretation
+// λ_x. The initial assignment greedily picks, per class, a sense covering as
+// many of the class's (MAD-ranked) values as possible, breaking ties by
+// tuple coverage. Refinement then models interactions between classes of
+// OFDs that share a consequent attribute: a dependency graph with EMD edge
+// weights is walked in BFS order (largest summed EMD first), and for each
+// heavy edge the three alignment options — add outliers to the ontology,
+// repair outlier tuples, or re-assign one class's sense — are costed; a
+// re-assignment is kept only when it actually lowers the edge's EMD.
+
+#ifndef FASTOFD_CLEAN_SENSE_ASSIGNMENT_H_
+#define FASTOFD_CLEAN_SENSE_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ofd/ofd.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// How class values are ranked before the prefix-intersection search of
+/// Initial_Assignment (Algorithm 5).
+enum class ValueOrdering {
+  /// Deviation of each value's frequency from the class median, descending —
+  /// the paper's MAD-based robust ordering (outliers sink to the back).
+  kMadDeviation,
+  /// Raw frequency, descending (the ablation baseline: sensitive to bursts
+  /// of erroneous values).
+  kFrequency,
+};
+
+/// Tunables for sense assignment.
+struct SenseAssignConfig {
+  /// EMD threshold θ: edges lighter than this are not refined.
+  double theta = 5.0;
+  /// Value-ranking strategy for the initial assignment.
+  ValueOrdering ordering = ValueOrdering::kMadDeviation;
+  /// Disable the dependency-graph local refinement (ablation).
+  bool refine = true;
+};
+
+/// A class within the assignment: (OFD index, class index in Π*_X).
+struct ClassRef {
+  int ofd = 0;
+  int cls = 0;
+};
+
+/// Result of sense assignment.
+struct SenseAssignmentResult {
+  /// Π*_X per OFD in Σ (classes align with `senses`).
+  std::vector<StrippedPartition> partitions;
+  /// Assigned sense per OFD per class; kInvalidSense when no sense covers
+  /// any value of the class (all values outside the ontology).
+  std::vector<std::vector<SenseId>> senses;
+  /// Number of sense re-assignments performed during refinement.
+  int64_t refinements = 0;
+  /// Number of dependency-graph edges evaluated.
+  int64_t edges_evaluated = 0;
+};
+
+/// Computes sense assignments for all equivalence classes of Σ.
+class SenseSelector {
+ public:
+  SenseSelector(const Relation& rel, const SynonymIndex& index, const SigmaSet& sigma,
+                SenseAssignConfig config = {});
+
+  /// Runs Initial_Assignment for every class, then Local_Refinement over
+  /// the dependency graph.
+  SenseAssignmentResult Run();
+
+  /// Initial_Assignment (Algorithm 5) for one class: ranked-value prefix
+  /// intersection, ties broken by tuple coverage. Exposed for tests.
+  static SenseId InitialAssignment(const Relation& rel, const SynonymIndex& index,
+                                   const std::vector<RowId>& rows, AttrId rhs,
+                                   ValueOrdering ordering = ValueOrdering::kMadDeviation);
+
+ private:
+  const Relation& rel_;
+  const SynonymIndex& index_;
+  const SigmaSet& sigma_;
+  SenseAssignConfig config_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_CLEAN_SENSE_ASSIGNMENT_H_

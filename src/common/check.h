@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros.
+//
+// The library is exception-free (Google style): recoverable failures flow
+// through Status/Result (see status.h), while violated internal invariants
+// abort with a source location. CHECK is always on; DCHECK compiles away in
+// NDEBUG builds.
+
+#ifndef FASTOFD_COMMON_CHECK_H_
+#define FASTOFD_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fastofd::internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace fastofd::internal
+
+#define FASTOFD_CHECK(expr)                                          \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::fastofd::internal::CheckFail(#expr, __FILE__, __LINE__);     \
+    }                                                                \
+  } while (false)
+
+#ifdef NDEBUG
+#define FASTOFD_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define FASTOFD_DCHECK(expr) FASTOFD_CHECK(expr)
+#endif
+
+#endif  // FASTOFD_COMMON_CHECK_H_

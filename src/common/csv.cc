@@ -1,0 +1,148 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fastofd {
+
+namespace {
+
+// Appends one parsed record starting at `pos`; advances `pos` past the record
+// terminator. Returns false (with error set) on malformed quoting.
+bool ParseRecord(std::string_view text, size_t* pos, std::vector<std::string>* out,
+                 std::string* error) {
+  out->clear();
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!field.empty()) {
+          *error = "quote inside unquoted field";
+          return false;
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        out->push_back(std::move(field));
+        field.clear();
+        ++i;
+      } else if (c == '\r') {
+        ++i;  // Tolerate CRLF.
+      } else if (c == '\n') {
+        ++i;
+        break;
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) {
+    *error = "unterminated quoted field";
+    return false;
+  }
+  out->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+bool NeedsQuoting(std::string_view s) {
+  return s.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string* out, std::string_view s) {
+  if (!NeedsQuoting(s)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view text, bool has_header) {
+  CsvTable table;
+  size_t pos = 0;
+  std::vector<std::string> record;
+  std::string error;
+  size_t arity = 0;
+  bool first = true;
+  while (pos < text.size()) {
+    // Skip blank lines.
+    if (text[pos] == '\n') {
+      ++pos;
+      continue;
+    }
+    if (!ParseRecord(text, &pos, &record, &error)) {
+      return Status::Error("CSV parse error: " + error);
+    }
+    if (first) {
+      arity = record.size();
+      first = false;
+      if (has_header) {
+        table.header = std::move(record);
+        continue;
+      }
+    }
+    if (record.size() != arity) {
+      return Status::Error("CSV arity mismatch: expected " + std::to_string(arity) +
+                           " fields, got " + std::to_string(record.size()));
+    }
+    table.rows.push_back(std::move(record));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str(), has_header);
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(&out, row[i]);
+    }
+    out.push_back('\n');
+  };
+  if (!table.header.empty()) append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open file for writing: " + path);
+  out << WriteCsv(table);
+  if (!out) return Status::Error("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace fastofd

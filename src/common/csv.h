@@ -1,0 +1,40 @@
+// Minimal RFC-4180-ish CSV reading and writing.
+//
+// Supports quoted fields with embedded commas/quotes/newlines, a header row,
+// and both file and in-memory string sources. Deliberately small: the
+// datasets this library consumes are flat tables of strings.
+
+#ifndef FASTOFD_COMMON_CSV_H_
+#define FASTOFD_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fastofd {
+
+/// A parsed CSV table: header plus rows of string cells.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. The first record is treated as the header when
+/// `has_header` is true. Every row must have the same arity as the first
+/// record; a mismatch is an error.
+Result<CsvTable> ParseCsv(std::string_view text, bool has_header = true);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header = true);
+
+/// Serializes a table to CSV text (fields quoted only when needed).
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a table to a file. Returns an error status on I/O failure.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_CSV_H_

@@ -1,0 +1,26 @@
+#include "common/dictionary.h"
+
+#include "common/check.h"
+
+namespace fastofd {
+
+ValueId Dictionary::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+ValueId Dictionary::Lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kInvalidValue : it->second;
+}
+
+const std::string& Dictionary::String(ValueId id) const {
+  FASTOFD_CHECK(id >= 0 && static_cast<size_t>(id) < strings_.size());
+  return strings_[static_cast<size_t>(id)];
+}
+
+}  // namespace fastofd

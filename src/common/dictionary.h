@@ -1,0 +1,47 @@
+// String interning: dense integer ids for attribute values.
+//
+// Relations are dictionary-coded so that partition algebra and OFD
+// verification operate on small integers; the ontology is compiled against
+// the same dictionary (ontology/synonym_index.h) so that names(v) lookups are
+// O(1), matching the paper's constant-time ontology access assumption.
+
+#ifndef FASTOFD_COMMON_DICTIONARY_H_
+#define FASTOFD_COMMON_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fastofd {
+
+/// Dense id of an interned value. Ids are assigned in first-seen order.
+using ValueId = int32_t;
+
+/// Sentinel for "value not present".
+inline constexpr ValueId kInvalidValue = -1;
+
+/// Bidirectional string <-> ValueId map.
+class Dictionary {
+ public:
+  /// Interns `s`, returning its id (existing or newly assigned).
+  ValueId Intern(std::string_view s);
+
+  /// Returns the id of `s`, or kInvalidValue if never interned.
+  ValueId Lookup(std::string_view s) const;
+
+  /// The string for an id. `id` must be valid.
+  const std::string& String(ValueId id) const;
+
+  /// Number of distinct interned values.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, ValueId> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_DICTIONARY_H_

@@ -1,0 +1,42 @@
+// Tiny command-line flag parsing for the example and benchmark binaries.
+//
+// Supports `--name=value` and `--name value` forms plus boolean
+// `--name` / `--no-name`. This keeps the bench harnesses dependency-free
+// while still letting a user scale experiments up to paper size.
+
+#ifndef FASTOFD_COMMON_FLAGS_H_
+#define FASTOFD_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fastofd {
+
+/// Parsed command-line flags.
+class Flags {
+ public:
+  /// Parses argv. Unrecognized positional arguments are kept in
+  /// positional(); malformed flags terminate the process with usage text.
+  static Flags Parse(int argc, char** argv);
+
+  /// Value accessors with defaults.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// True if the flag was supplied on the command line.
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_FLAGS_H_

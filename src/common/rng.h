@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for generators and tests.
+//
+// A thin wrapper around xoshiro256** with the distribution helpers the data
+// generators need (uniform ints/reals, Bernoulli, Zipf, shuffling, sampling).
+// All experiments in bench/ seed explicitly so runs are reproducible.
+
+#ifndef FASTOFD_COMMON_RNG_H_
+#define FASTOFD_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fastofd {
+
+/// Deterministic, seedable random number generator (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the generator; the same seed yields the same stream everywhere.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextUint(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s = 0 is uniform).
+  /// Uses an inverted-CDF table cached for the (n, s) pair of the last call.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+
+  // Cached Zipf CDF for the most recent (n, s) pair.
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_RNG_H_

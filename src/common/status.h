@@ -1,0 +1,77 @@
+// Minimal Status / Result<T> error-propagation types.
+//
+// Used at library boundaries that can fail for data-dependent reasons
+// (parsing, file I/O, schema validation). Internal invariant violations use
+// FASTOFD_CHECK instead.
+
+#ifndef FASTOFD_COMMON_STATUS_H_
+#define FASTOFD_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+/// Outcome of a fallible operation without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs an error status carrying a human-readable message.
+  static Status Error(std::string message) { return Status(std::move(message)); }
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return message_.empty(); }
+  /// Error message; empty iff ok().
+  const std::string& message() const { return message_; }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+
+  std::string message_;
+};
+
+/// Outcome of a fallible operation producing a T on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from an error Status. `status.ok()` must be false.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT
+    FASTOFD_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status. Must not be called when ok().
+  const Status& status() const {
+    FASTOFD_CHECK(!ok());
+    return std::get<Status>(value_);
+  }
+
+  /// The contained value. Must not be called unless ok().
+  const T& value() const& {
+    FASTOFD_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    FASTOFD_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    FASTOFD_CHECK(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing helper used by the benchmark harnesses.
+
+#ifndef FASTOFD_COMMON_TIMER_H_
+#define FASTOFD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fastofd {
+
+/// Monotonic wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_TIMER_H_

@@ -1,0 +1,348 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fastofd {
+
+namespace {
+
+// Builds the sense/value pool. Senses share values with probability
+// `overlap`, which is what makes sense selection non-trivial.
+Ontology BuildOntology(Rng* rng, int num_senses, int values_per_sense,
+                       double overlap) {
+  Ontology ont;
+  ConceptId root = ont.AddConcept("gen_root");
+  std::vector<std::string> used;
+  int fresh = 0;
+  for (int s = 0; s < num_senses; ++s) {
+    ConceptId c = ont.AddConcept("gen_concept" + std::to_string(s), root);
+    SenseId sense = ont.AddSense("sense" + std::to_string(s), c);
+    int added = 0;
+    while (added < values_per_sense) {
+      if (!used.empty() && rng->NextBernoulli(overlap)) {
+        if (ont.AddValue(sense, used[rng->NextUint(used.size())])) ++added;
+        // A duplicate pick retries.
+      } else {
+        // Word-like names: distinct values are far apart in edit distance
+        // (as real drug/country names are), which matters for the Metric FD
+        // comparison.
+        std::string v = "med" + std::to_string(fresh++) + "_";
+        for (int c = 0; c < 6; ++c) {
+          v.push_back(static_cast<char>('a' + rng->NextUint(26)));
+        }
+        ont.AddValue(sense, v);
+        used.push_back(v);
+        ++added;
+      }
+    }
+  }
+  ont.MarkPristine();
+  return ont;
+}
+
+}  // namespace
+
+GeneratedData GenerateData(const DataGenConfig& config) {
+  FASTOFD_CHECK(config.num_rows > 0);
+  FASTOFD_CHECK(config.num_antecedents > 0);
+  FASTOFD_CHECK(config.num_consequents > 0);
+  FASTOFD_CHECK(config.num_senses > 0);
+  Rng rng(config.seed);
+
+  Ontology ontology = BuildOntology(&rng, config.num_senses,
+                                    config.values_per_sense, config.sense_overlap);
+
+  // Schema: CTX0..  VAL0..  NOISE0..
+  std::vector<std::string> names;
+  for (int i = 0; i < config.num_antecedents; ++i) {
+    names.push_back("CTX" + std::to_string(i));
+  }
+  for (int j = 0; j < config.num_consequents; ++j) {
+    names.push_back("VAL" + std::to_string(j));
+  }
+  for (int k = 0; k < config.num_noise_attrs; ++k) {
+    names.push_back("NOISE" + std::to_string(k));
+  }
+  for (int k = 0; k < config.num_key_attrs; ++k) {
+    names.push_back("KEY" + std::to_string(k));
+  }
+  Relation rel((Schema(names)));
+
+  GeneratedData out{std::move(rel), std::move(ontology), Ontology(),
+                    {},             Relation(Schema(names)), {}, {}, {}};
+  out.full_ontology = out.ontology;
+
+  // Planted Σ: CTX_{j mod A} -> VAL_j for every consequent column j, plus —
+  // when requested — an interacting [CTX_a, CTX_b] -> VAL_j with the same
+  // consequent (holds by augmentation on clean data).
+  const int A = config.num_antecedents;
+  for (int j = 0; j < config.num_consequents; ++j) {
+    AttrId lhs = static_cast<AttrId>(j % A);
+    AttrId rhs = static_cast<AttrId>(A + j);
+    out.sigma.push_back(Ofd{AttrSet::Single(lhs), rhs, OfdKind::kSynonym});
+    if (config.plant_interacting_ofds && A >= 2) {
+      AttrId lhs2 = static_cast<AttrId>((j + 1) % A);
+      out.sigma.push_back(
+          Ofd{AttrSet::Of({lhs, lhs2}), rhs, OfdKind::kSynonym});
+    }
+  }
+
+  // Row generation: each antecedent class of a planted OFD is produced
+  // under one true sense.
+  std::unordered_map<std::string, bool> deterministic_class;
+  for (int r = 0; r < config.num_rows; ++r) {
+    std::vector<std::string> row;
+    std::vector<std::string> ctx(static_cast<size_t>(A));
+    for (int i = 0; i < A; ++i) {
+      uint64_t cls = rng.NextZipf(
+          static_cast<uint64_t>(config.classes_per_antecedent), config.skew);
+      ctx[static_cast<size_t>(i)] = "c" + std::to_string(i) + "_" + std::to_string(cls);
+      row.push_back(ctx[static_cast<size_t>(i)]);
+    }
+    for (int j = 0; j < config.num_consequents; ++j) {
+      const std::string& cls = ctx[static_cast<size_t>(j % A)];
+      std::string key = std::to_string(j) + ":" + cls;
+      auto it = out.true_senses.find(key);
+      SenseId sense;
+      bool deterministic;
+      if (it == out.true_senses.end()) {
+        sense = static_cast<SenseId>(rng.NextUint(
+            static_cast<uint64_t>(out.ontology.num_senses())));
+        out.true_senses.emplace(key, sense);
+        deterministic = j >= config.num_consequents - config.num_fd_consequents ||
+                        rng.NextBernoulli(config.deterministic_class_fraction);
+        deterministic_class[key] = deterministic;
+      } else {
+        sense = it->second;
+        deterministic = deterministic_class[key];
+      }
+      const auto& values = out.ontology.SenseValues(sense);
+      row.push_back(deterministic ? values[0] : values[rng.NextUint(values.size())]);
+    }
+    for (int k = 0; k < config.num_noise_attrs; ++k) {
+      row.push_back("n" + std::to_string(rng.NextUint(20)));
+    }
+    for (int k = 0; k < config.num_key_attrs; ++k) {
+      row.push_back("id" + std::to_string(k) + "_" + std::to_string(r));
+    }
+    out.rel.AppendRow(row);
+    out.clean_rel.AppendRow(row);
+  }
+
+  // Error injection into consequent cells (paper: either an existing domain
+  // value or a brand-new out-of-domain value).
+  std::vector<std::string> domain_pool;
+  for (SenseId s = 0; s < out.ontology.num_senses(); ++s) {
+    for (const auto& v : out.ontology.SenseValues(s)) domain_pool.push_back(v);
+  }
+  int err_counter = 0;
+  std::unordered_map<std::string, std::string> burst_value;
+  for (RowId r = 0; r < out.rel.num_rows(); ++r) {
+    for (int j = 0; j < config.num_consequents; ++j) {
+      if (!rng.NextBernoulli(config.error_rate)) continue;
+      AttrId attr = static_cast<AttrId>(A + j);
+      InjectedError err;
+      err.row = r;
+      err.attr = attr;
+      err.original = out.rel.StringAt(r, attr);
+      if (rng.NextBernoulli(config.in_domain_error_fraction)) {
+        // Pick a wrong existing domain value; under bursty_errors the same
+        // wrong value is reused per (class, consequent), with one fallback
+        // slot for rows whose clean value collides with the burst value.
+        auto random_wrong = [&]() -> std::string {
+          for (int attempt = 0; attempt < 8; ++attempt) {
+            const std::string& pick = domain_pool[rng.NextUint(domain_pool.size())];
+            if (pick != err.original) return pick;
+          }
+          return "errv" + std::to_string(err_counter++);
+        };
+        if (config.bursty_errors) {
+          std::string base_key = std::to_string(j) + ":" +
+                                 out.rel.StringAt(r, static_cast<AttrId>(j % A));
+          for (const char* suffix : {"", "#2"}) {
+            std::string key = base_key + suffix;
+            auto it = burst_value.find(key);
+            if (it == burst_value.end()) {
+              err.dirty = random_wrong();
+              burst_value.emplace(key, err.dirty);
+              break;
+            }
+            if (it->second != err.original) {
+              err.dirty = it->second;
+              break;
+            }
+          }
+          if (err.dirty.empty()) err.dirty = "errv" + std::to_string(err_counter++);
+        } else {
+          err.dirty = random_wrong();
+        }
+      } else {
+        err.dirty = "errv" + std::to_string(err_counter++);
+      }
+      out.rel.Set(r, attr, err.dirty);
+      out.errors.push_back(std::move(err));
+    }
+  }
+
+  // Ontology incompleteness: remove inc% of the *used* ontology values and
+  // rebuild S. Removed values stay in the data and become ontology-repair
+  // candidates.
+  if (config.incompleteness_rate > 0.0) {
+    std::unordered_set<std::string> used_values;
+    for (int j = 0; j < config.num_consequents; ++j) {
+      AttrId attr = static_cast<AttrId>(A + j);
+      for (RowId r = 0; r < out.rel.num_rows(); ++r) {
+        const std::string& v = out.rel.StringAt(r, attr);
+        if (out.ontology.ContainsValue(v)) used_values.insert(v);
+      }
+    }
+    std::vector<std::string> candidates(used_values.begin(), used_values.end());
+    std::sort(candidates.begin(), candidates.end());
+    size_t n_remove = static_cast<size_t>(
+        config.incompleteness_rate * static_cast<double>(candidates.size()));
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(candidates.size(), n_remove);
+    std::unordered_set<std::string> removed;
+    for (size_t p : picks) {
+      removed.insert(candidates[p]);
+      out.removed_values.push_back(candidates[p]);
+    }
+    // Rebuild the ontology without the removed values.
+    Ontology rebuilt;
+    for (ConceptId c = 0; c < out.ontology.num_concepts(); ++c) {
+      rebuilt.AddConcept(out.ontology.concept_name(c), out.ontology.parent(c));
+    }
+    for (SenseId s = 0; s < out.ontology.num_senses(); ++s) {
+      SenseId ns = rebuilt.AddSense(out.ontology.sense_name(s),
+                                    out.ontology.sense_concept(s));
+      for (const auto& v : out.ontology.SenseValues(s)) {
+        if (!removed.count(v)) rebuilt.AddValue(ns, v);
+      }
+    }
+    rebuilt.MarkPristine();
+    out.ontology = std::move(rebuilt);
+  }
+
+  return out;
+}
+
+RepairScore ScoreRepair(const GeneratedData& data, const Relation& repaired) {
+  RepairScore score;
+  FASTOFD_CHECK(repaired.num_rows() == data.rel.num_rows());
+  FASTOFD_CHECK(repaired.num_attrs() == data.rel.num_attrs());
+  // Two values are equivalent when some sense of the full (pre-
+  // incompleteness) ontology contains both.
+  auto synonymous = [&](const std::string& a, const std::string& b) {
+    std::vector<SenseId> sa = data.full_ontology.NamesOf(a);
+    std::vector<SenseId> sb = data.full_ontology.NamesOf(b);
+    for (SenseId x : sa) {
+      for (SenseId y : sb) {
+        if (x == y) return true;
+      }
+    }
+    return false;
+  };
+  for (RowId r = 0; r < repaired.num_rows(); ++r) {
+    for (int a = 0; a < repaired.num_attrs(); ++a) {
+      const std::string& dirty = data.rel.StringAt(r, a);
+      const std::string& clean = data.clean_rel.StringAt(r, a);
+      const std::string& fixed = repaired.StringAt(r, a);
+      if (dirty != clean) ++score.total_errors;
+      if (fixed != dirty) {
+        ++score.total_changes;
+        if (fixed == clean || (dirty != clean && synonymous(fixed, clean))) {
+          ++score.correct_changes;
+        }
+      }
+    }
+  }
+  return score;
+}
+
+namespace {
+
+// Rebuilds a relation under a renamed schema (values unchanged).
+Relation Rename(const Relation& rel, const std::vector<std::string>& names) {
+  FASTOFD_CHECK(static_cast<int>(names.size()) == rel.num_attrs());
+  CsvTable t = rel.ToCsv();
+  t.header = names;
+  return Relation::FromCsv(t).value();
+}
+
+GeneratedData Flavour(GeneratedData data, const std::vector<std::string>& ante,
+                      const std::vector<std::string>& cons,
+                      const std::vector<std::string>& noise,
+                      const std::vector<std::string>& keys,
+                      const DataGenConfig& config) {
+  std::vector<std::string> names;
+  auto pick = [](const std::vector<std::string>& pool, int i,
+                 const std::string& fallback) {
+    return i < static_cast<int>(pool.size()) ? pool[static_cast<size_t>(i)]
+                                             : fallback + std::to_string(i);
+  };
+  for (int i = 0; i < config.num_antecedents; ++i) {
+    names.push_back(pick(ante, i, "CTX"));
+  }
+  for (int j = 0; j < config.num_consequents; ++j) {
+    names.push_back(pick(cons, j, "VAL"));
+  }
+  for (int k = 0; k < config.num_noise_attrs; ++k) {
+    names.push_back(pick(noise, k, "NOISE"));
+  }
+  for (int k = 0; k < config.num_key_attrs; ++k) {
+    names.push_back(pick(keys, k, "KEY"));
+  }
+  data.rel = Rename(data.rel, names);
+  data.clean_rel = Rename(data.clean_rel, names);
+  return data;
+}
+
+}  // namespace
+
+GeneratedData GenerateClinical(DataGenConfig config) {
+  GeneratedData data = GenerateData(config);
+  return Flavour(std::move(data), {"CC", "SYMP", "TEST", "AGE_GROUP", "SEX"},
+                 {"CTRY", "MED", "DIAG", "TREATMENT", "OUTCOME"},
+                 {"SITE", "PHASE", "SPONSOR"}, {"NCTID", "OrgStudyID"}, config);
+}
+
+GeneratedData GenerateKiva(DataGenConfig config) {
+  GeneratedData data = GenerateData(config);
+  return Flavour(std::move(data), {"CC", "SECTOR", "ACTIVITY", "PARTNER"},
+                 {"CTRY", "CURRENCY", "REGION", "USE"},
+                 {"AMOUNT_BAND", "TERM", "GENDER"}, {"LOAN_ID"}, config);
+}
+
+RepairScore ScoreFullRepair(
+    const GeneratedData& data, const Relation& repaired,
+    const std::vector<std::pair<std::string, std::string>>& ontology_additions) {
+  RepairScore score = ScoreRepair(data, repaired);
+  // Ontology side: each removed value that still occurs in the data needs
+  // re-insertion; an addition is correct iff the full ontology had it under
+  // that sense.
+  std::unordered_set<std::string> in_data;
+  for (RowId r = 0; r < data.rel.num_rows(); ++r) {
+    for (int a = 0; a < data.rel.num_attrs(); ++a) {
+      in_data.insert(data.rel.StringAt(r, a));
+    }
+  }
+  for (const std::string& v : data.removed_values) {
+    if (in_data.count(v)) ++score.total_errors;
+  }
+  for (const auto& [sense_name, value] : ontology_additions) {
+    ++score.total_changes;
+    SenseId full_sense = data.full_ontology.FindSense(sense_name);
+    if (full_sense != kInvalidSense &&
+        data.full_ontology.SenseContains(full_sense, value)) {
+      ++score.correct_changes;
+    }
+  }
+  return score;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,159 @@
+// Synthetic dataset generation with planted OFDs, controlled error
+// injection, and ground-truth bookkeeping (stand-ins for the paper's
+// Clinical/LinkedCT and Kiva datasets; see DESIGN.md §1).
+//
+// A generated instance consists of:
+//   - a Relation whose consequent columns draw values from ontology senses
+//     (each equivalence class of a planted OFD is generated under one
+//     *true* sense — the ground truth for sense-selection accuracy);
+//   - the Ontology itself;
+//   - the planted OFD set Σ;
+//   - the list of injected errors (cell, original value) so repairs can be
+//     scored with precision/recall;
+//   - the values removed from the ontology by incompleteness injection.
+
+#ifndef FASTOFD_DATAGEN_DATAGEN_H_
+#define FASTOFD_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <unordered_map>
+#include <vector>
+
+#include "ofd/ofd.h"
+#include "ontology/ontology.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// One injected cell error.
+struct InjectedError {
+  RowId row = 0;
+  AttrId attr = 0;
+  std::string original;  ///< Ground-truth (clean) value.
+  std::string dirty;     ///< Value now in the relation.
+};
+
+/// Knobs for dataset generation (paper Table 6 parameters).
+struct DataGenConfig {
+  /// Number of tuples, the paper's N.
+  int num_rows = 1000;
+  /// Number of antecedent attribute groups ("context" columns).
+  int num_antecedents = 3;
+  /// Number of consequent columns whose values come from ontology senses.
+  int num_consequents = 2;
+  /// Extra unconstrained noise columns (to reach the paper's 15 attributes).
+  int num_noise_attrs = 0;
+  /// Key-like columns with unique per-row values (the clinical data's
+  /// NCTID/OrgStudyID analogues; exercises superkey pruning, Opt-3).
+  int num_key_attrs = 0;
+  /// Fraction of (class, consequent) pairs generated with a single fixed
+  /// value instead of random synonyms — classes that are clean even under
+  /// plain FD semantics (tunes the Exp-5 non-equal percentage).
+  double deterministic_class_fraction = 0.0;
+  /// Of the consequent columns, the last `num_fd_consequents` are fully
+  /// deterministic: the planted dependency holds as a traditional FD (the
+  /// paper's "five defined FDs" for the Opt-4 experiment).
+  int num_fd_consequents = 0;
+  /// Number of senses |λ|.
+  int num_senses = 4;
+  /// Synonym-class size per sense.
+  int values_per_sense = 6;
+  /// Distinct antecedent values per antecedent column (equivalence classes).
+  int classes_per_antecedent = 8;
+  /// Error rate err% in [0,1]: fraction of consequent cells perturbed.
+  double error_rate = 0.03;
+  /// Of the injected errors, fraction changed to an existing domain value
+  /// (the rest become brand-new out-of-domain values).
+  double in_domain_error_fraction = 0.5;
+  /// When true, all in-domain errors within one (class, consequent) reuse
+  /// the same wrong value — the repeated-typo burst that frequency-based
+  /// value ranking chases and MAD-based ranking resists.
+  bool bursty_errors = false;
+  /// Incompleteness rate inc% in [0,1]: fraction of ontology values removed
+  /// after data generation (candidates for ontology repair).
+  double incompleteness_rate = 0.0;
+  /// Zipf exponent for antecedent-class sizes (0 = uniform).
+  double skew = 0.5;
+  /// Fraction of each sense's values shared with other senses (cross-sense
+  /// ambiguity: higher overlap makes sense selection harder).
+  double sense_overlap = 0.25;
+  /// When true, for each consequent j an additional interacting OFD
+  /// [CTX_a, CTX_b] -> VAL_j is planted (same consequent, refined classes):
+  /// it also holds on clean data and creates the dependency-graph edges the
+  /// refinement step works on.
+  bool plant_interacting_ofds = false;
+  uint64_t seed = 1;
+};
+
+/// A generated instance plus its ground truth.
+struct GeneratedData {
+  Relation rel;
+  Ontology ontology;
+  /// The ontology before incompleteness injection (used for scoring:
+  /// repairing an error cell to any synonym of the truth is correct).
+  Ontology full_ontology;
+  /// Planted OFDs (each antecedent column -> each consequent column).
+  SigmaSet sigma;
+  /// The clean relation before error injection.
+  Relation clean_rel;
+  /// Injected errors, in injection order.
+  std::vector<InjectedError> errors;
+  /// True sense chosen for each (ofd index, antecedent class value string).
+  std::unordered_map<std::string, SenseId> true_senses;
+  /// Values removed from the ontology by incompleteness injection.
+  std::vector<std::string> removed_values;
+};
+
+/// Generates a synthetic instance per `config` (deterministic in the seed).
+/// Schema: CTX0..CTXk antecedents, VAL0..VALm consequents, NOISE0.. noise
+/// columns, KEY0.. key columns.
+GeneratedData GenerateData(const DataGenConfig& config);
+
+/// Flavoured wrappers: the same generator with themed attribute names for
+/// readable examples/CLI output (LinkedCT- and Kiva-shaped schemas). Note
+/// that bench/sense_eval.h expects the generic CTX/VAL names.
+GeneratedData GenerateClinical(DataGenConfig config);
+GeneratedData GenerateKiva(DataGenConfig config);
+
+/// Precision/recall of a repair against ground truth: a repaired relation
+/// is compared cell-by-cell with the dirty and clean versions. A change is
+/// correct when it restores the clean value exactly, or — for a cell that
+/// really was dirty — restores a value synonymous with the clean value
+/// under the full ontology (OFD semantics treat those as equivalent).
+struct RepairScore {
+  /// Cells changed by the repairer that match the ground truth.
+  int64_t correct_changes = 0;
+  /// Cells changed by the repairer in total.
+  int64_t total_changes = 0;
+  /// Cells that were actually dirty.
+  int64_t total_errors = 0;
+
+  double precision() const {
+    return total_changes == 0 ? 1.0
+                              : static_cast<double>(correct_changes) /
+                                    static_cast<double>(total_changes);
+  }
+  double recall() const {
+    return total_errors == 0 ? 1.0
+                             : static_cast<double>(correct_changes) /
+                                   static_cast<double>(total_errors);
+  }
+};
+
+/// Scores `repaired` against the generated ground truth.
+RepairScore ScoreRepair(const GeneratedData& data, const Relation& repaired);
+
+/// Combined data + ontology repair score. Ontology additions are given as
+/// (sense name, value) pairs; an addition is correct when the full
+/// (pre-incompleteness) ontology contained that value in that sense. The
+/// recall denominator counts injected cell errors plus the removed ontology
+/// values that occur in the data (each needs one re-insertion).
+RepairScore ScoreFullRepair(
+    const GeneratedData& data, const Relation& repaired,
+    const std::vector<std::pair<std::string, std::string>>& ontology_additions);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_DATAGEN_DATAGEN_H_

@@ -1,0 +1,322 @@
+#include "discovery/fastofd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace fastofd {
+
+namespace {
+
+// A lattice node: the stripped partition of its attribute set plus the
+// candidate consequents C+(X).
+struct Node {
+  StrippedPartition partition;
+  AttrSet cand;
+  bool superkey = false;
+};
+
+using Level = std::unordered_map<AttrSet, Node, AttrSetHash>;
+
+}  // namespace
+
+FastOfd::FastOfd(const Relation& rel, const SynonymIndex& index, FastOfdConfig config,
+                 const Ontology* ontology)
+    : rel_(rel),
+      index_(index),
+      config_(config),
+      verifier_(rel, index, ontology, config.theta) {
+  if (config_.kind == OfdKind::kInheritance) {
+    FASTOFD_CHECK(ontology != nullptr);
+  }
+}
+
+FastOfdResult FastOfd::Discover() {
+  const int n = rel_.num_attrs();
+  const AttrSet all = AttrSet::All(n);
+  FastOfdResult result;
+
+  // Per-thread scratch for candidate validation.
+  struct Scratch {
+    std::unordered_map<SenseId, size_t> counts;
+    std::vector<ValueId> distinct;
+    int64_t values_scanned = 0;
+  };
+
+  // Validates candidate lhs -> rhs against Π*_lhs. Opt-4 (FD reduction):
+  // when the traditional FD lhs -> rhs already holds — an O(1) check given
+  // both partitions — every class is syntactically equal on the consequent
+  // and the sense-intersection scan is skipped entirely. Thread-safe: all
+  // mutable state lives in `scratch`.
+  auto candidate_valid = [&](const StrippedPartition& lhs_partition,
+                             const StrippedPartition& node_partition, AttrId rhs,
+                             Scratch& scratch) -> bool {
+    if (config_.opt_fd_reduction && FdHolds(lhs_partition, node_partition)) {
+      return true;  // FD satisfied => OFD satisfied (any support level).
+    }
+    if (config_.min_support < 1.0) {
+      Ofd ofd{AttrSet(), rhs, config_.kind};
+      return verifier_.Support(ofd, lhs_partition) >= config_.min_support;
+    }
+    for (const auto& cls : lhs_partition.classes()) {
+      scratch.values_scanned += static_cast<int64_t>(cls.size());
+      auto& distinct = scratch.distinct;
+      distinct.clear();
+      for (RowId r : cls) distinct.push_back(rel_.At(r, rhs));
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+      if (distinct.size() == 1) continue;  // Equal values: class satisfied.
+      if (config_.kind == OfdKind::kInheritance) {
+        if (!verifier_.HoldsInClass(cls, rhs, config_.kind)) return false;
+        continue;
+      }
+      // Synonym check: some sense must cover every distinct value.
+      auto& counts = scratch.counts;
+      counts.clear();
+      bool missing_value = false;
+      for (ValueId v : distinct) {
+        const std::vector<SenseId>& senses = index_.Senses(v);
+        if (senses.empty()) missing_value = true;
+        for (SenseId s : senses) ++counts[s];
+      }
+      bool covered = false;
+      if (!missing_value) {
+        for (const auto& [_, c] : counts) {
+          if (c == distinct.size()) {
+            covered = true;
+            break;
+          }
+        }
+      }
+      if (!covered) return false;
+    }
+    return true;
+  };
+
+  // Σ subset check used when Opt-2 is disabled: a valid candidate is
+  // minimal iff no already-found OFD has the same consequent and an
+  // antecedent subset.
+  auto minimal_against_sigma = [&](AttrSet lhs, AttrId rhs) {
+    for (const Ofd& ofd : result.ofds) {
+      if (ofd.rhs == rhs && ofd.lhs.IsSubsetOf(lhs)) return false;
+    }
+    return true;
+  };
+
+  // Level 0: the empty attribute set.
+  Level prev;
+  {
+    Node empty;
+    empty.partition = StrippedPartition::BuildForSet(rel_, AttrSet());
+    empty.superkey = empty.partition.IsSuperkey();
+    empty.cand = all;
+    prev.emplace(AttrSet(), std::move(empty));
+  }
+
+  // Level 1: single attributes.
+  Level cur;
+  for (AttrId a = 0; a < n; ++a) {
+    Node node;
+    node.partition = StrippedPartition::Build(rel_, a);
+    node.superkey = node.partition.IsSuperkey();
+    node.cand = all;
+    cur.emplace(AttrSet::Single(a), std::move(node));
+  }
+
+  int level = 1;
+  while (!cur.empty() && level <= config_.max_level) {
+    Timer timer;
+    LevelStats stats;
+    stats.level = level;
+    stats.nodes = static_cast<int64_t>(cur.size());
+
+    // computeOFDs(L_l): candidate sets, then candidate validation.
+    for (auto& [attrs, node] : cur) {
+      if (config_.opt_augmentation) {
+        AttrSet cand = all;
+        for (AttrId a : attrs.ToVector()) {
+          auto it = prev.find(attrs.Without(a));
+          // A pruned parent had an empty candidate set (anti-monotone).
+          cand = it == prev.end() ? AttrSet() : cand.Intersect(it->second.cand);
+        }
+        node.cand = cand;
+      } else {
+        node.cand = all;
+      }
+    }
+
+    // Collect this level's candidates in a deterministic order, validate
+    // them (optionally in parallel — validations are independent), then
+    // apply the results sequentially so output and pruning are identical
+    // for any thread count.
+    struct Candidate {
+      AttrSet attrs;
+      AttrId a;
+      Node* node;
+      const StrippedPartition* lhs_partition;
+    };
+    std::vector<Candidate> candidates;
+    for (auto& [attrs, node] : cur) {
+      for (AttrId a : attrs.Intersect(node.cand).ToVector()) {
+        auto parent_it = prev.find(attrs.Without(a));
+        if (parent_it == prev.end()) continue;  // Parent pruned: non-minimal.
+        candidates.push_back(
+            Candidate{attrs, a, &node, &parent_it->second.partition});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& x, const Candidate& y) {
+                if (x.attrs != y.attrs) return x.attrs < y.attrs;
+                return x.a < y.a;
+              });
+    stats.candidates_checked = static_cast<int64_t>(candidates.size());
+
+    std::vector<char> valid(candidates.size());
+    int threads = std::max(1, config_.num_threads);
+    if (threads <= 1 || candidates.size() < 2) {
+      Scratch scratch;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        valid[i] = candidate_valid(*candidates[i].lhs_partition,
+                                   candidates[i].node->partition, candidates[i].a,
+                                   scratch);
+      }
+      result.values_scanned += scratch.values_scanned;
+    } else {
+      std::vector<std::thread> pool;
+      std::vector<Scratch> scratches(static_cast<size_t>(threads));
+      std::atomic<size_t> next_index{0};
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          Scratch& scratch = scratches[static_cast<size_t>(t)];
+          size_t i;
+          while ((i = next_index.fetch_add(1)) < candidates.size()) {
+            valid[i] = candidate_valid(*candidates[i].lhs_partition,
+                                       candidates[i].node->partition,
+                                       candidates[i].a, scratch);
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+      for (const Scratch& s : scratches) result.values_scanned += s.values_scanned;
+    }
+
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!valid[i]) continue;
+      AttrSet lhs = candidates[i].attrs.Without(candidates[i].a);
+      if (!config_.opt_augmentation && !minimal_against_sigma(lhs, candidates[i].a)) {
+        continue;
+      }
+      result.ofds.push_back(Ofd{lhs, candidates[i].a, config_.kind});
+      candidates[i].node->cand = candidates[i].node->cand.Without(candidates[i].a);
+      ++stats.ofds_found;
+    }
+
+    // Prune nodes with empty candidate sets (nothing minimal above them).
+    if (config_.opt_augmentation) {
+      for (auto it = cur.begin(); it != cur.end();) {
+        if (it->second.cand.empty()) {
+          it = cur.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // calculateNextLevel(L_l): prefix blocks — two sets combine iff they
+    // share all attributes except their highest one. The partition products
+    // of distinct children are independent, so they are computed in
+    // parallel when num_threads > 1.
+    Level next;
+    if (level < n && level < config_.max_level) {
+      std::unordered_map<uint64_t, std::vector<AttrSet>> blocks;
+      for (const auto& [attrs, _] : cur) {
+        uint64_t mask = attrs.mask();
+        uint64_t prefix = mask & ~(uint64_t{1} << (63 - std::countl_zero(mask)));
+        blocks[prefix].push_back(attrs);
+      }
+      struct Pending {
+        AttrSet combined;
+        const Node* left;
+        const Node* right;
+      };
+      std::vector<Pending> pending;
+      for (auto& [_, members] : blocks) {
+        std::sort(members.begin(), members.end());
+        for (size_t i = 0; i < members.size(); ++i) {
+          for (size_t j = i + 1; j < members.size(); ++j) {
+            AttrSet combined = members[i].Union(members[j]);
+            if (next.count(combined)) continue;
+            // All l-subsets must be present (respects pruning).
+            bool ok = true;
+            for (AttrId a : combined.ToVector()) {
+              if (!cur.count(combined.Without(a))) {
+                ok = false;
+                break;
+              }
+            }
+            if (!ok) continue;
+            const Node& left = cur.at(members[i]);
+            const Node& right = cur.at(members[j]);
+            if (config_.opt_keys && (left.superkey || right.superkey)) {
+              // Opt-3: a superset of a superkey is a superkey; skip the
+              // partition product entirely.
+              Node node;
+              node.partition = StrippedPartition::Empty(rel_.num_rows());
+              node.superkey = true;
+              next.emplace(combined, std::move(node));
+            } else {
+              next.emplace(combined, Node{});  // Reserve; filled below.
+              pending.push_back(Pending{combined, &left, &right});
+            }
+          }
+        }
+      }
+      result.partition_products += static_cast<int64_t>(pending.size());
+      int threads = std::max(1, config_.num_threads);
+      if (threads <= 1 || pending.size() < 2) {
+        for (const Pending& p : pending) {
+          Node& node = next.at(p.combined);
+          node.partition =
+              StrippedPartition::Product(p.left->partition, p.right->partition);
+          node.superkey = node.partition.IsSuperkey();
+        }
+      } else {
+        // `next` is not resized after this point, so per-element writes from
+        // different threads are safe.
+        std::vector<std::thread> pool;
+        std::atomic<size_t> next_index{0};
+        for (int t = 0; t < threads; ++t) {
+          pool.emplace_back([&] {
+            size_t i;
+            while ((i = next_index.fetch_add(1)) < pending.size()) {
+              const Pending& p = pending[i];
+              Node& node = next.at(p.combined);
+              node.partition = StrippedPartition::Product(p.left->partition,
+                                                          p.right->partition);
+              node.superkey = node.partition.IsSuperkey();
+            }
+          });
+        }
+        for (auto& th : pool) th.join();
+      }
+    }
+
+    stats.seconds = timer.Seconds();
+    result.candidates_checked += stats.candidates_checked;
+    result.level_stats.push_back(stats);
+    prev = std::move(cur);
+    cur = std::move(next);
+    ++level;
+  }
+
+  std::sort(result.ofds.begin(), result.ofds.end());
+  return result;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,243 @@
+// Pairwise FD-discovery baselines: DepMiner, FastFDs, FDep. All three derive
+// dependencies from tuple-pair evidence (agree / difference sets), which is
+// what gives them their ~quadratic-in-N profile in the paper's Exp-1.
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "discovery/fd_baselines.h"
+#include "discovery/set_cover.h"
+#include "relation/attr_set.h"
+#include "relation/partition.h"
+
+namespace fastofd {
+
+namespace {
+
+// True iff the column is constant (∅ -> A case, handled up front by all
+// pairwise algorithms).
+bool IsConstantColumn(const Relation& rel, AttrId a) {
+  if (rel.num_rows() == 0) return true;
+  ValueId first = rel.At(0, a);
+  for (RowId r = 1; r < rel.num_rows(); ++r) {
+    if (rel.At(r, a) != first) return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// DepMiner (Lopes et al. 2000): agree sets from stripped partitions,
+// maximal sets per consequent, minimal FDs as minimal transversals of the
+// complements of the maximal sets.
+
+class DepMiner : public FdAlgorithm {
+ public:
+  std::string name() const override { return "depminer"; }
+
+  FdResult Discover(const Relation& rel) override {
+    FdResult result;
+    const int n = rel.num_attrs();
+
+    std::vector<std::pair<RowId, RowId>> pairs = CandidatePairs(rel);
+    result.work = static_cast<int64_t>(pairs.size());
+    std::vector<AttrSet> agree_sets;
+    agree_sets.reserve(pairs.size());
+    for (const auto& [r1, r2] : pairs) agree_sets.push_back(AgreeSet(rel, r1, r2));
+    std::sort(agree_sets.begin(), agree_sets.end());
+    agree_sets.erase(std::unique(agree_sets.begin(), agree_sets.end()),
+                     agree_sets.end());
+
+    for (AttrId a = 0; a < n; ++a) {
+      if (IsConstantColumn(rel, a)) {
+        result.fds.push_back(Ofd{AttrSet(), a, OfdKind::kSynonym});
+        continue;
+      }
+      AttrSet universe = AttrSet::All(n).Without(a);
+      // max(a): maximal agree sets of pairs that differ on a. The empty
+      // agree set is always included for non-constant columns: ∅ -> A is
+      // invalid, which forces antecedents to be non-empty (pairs agreeing
+      // nowhere are not enumerated by CandidatePairs).
+      std::vector<AttrSet> family = {AttrSet()};
+      for (AttrSet ag : agree_sets) {
+        if (!ag.Contains(a)) family.push_back(ag);
+      }
+      family = MaximalSets(std::move(family));
+      std::vector<AttrSet> complements;
+      complements.reserve(family.size());
+      for (AttrSet m : family) complements.push_back(universe.Minus(m));
+      for (AttrSet lhs : MinimalTransversals(complements, universe)) {
+        result.fds.push_back(Ofd{lhs, a, OfdKind::kSynonym});
+      }
+    }
+    std::sort(result.fds.begin(), result.fds.end());
+    return result;
+  }
+};
+
+// --------------------------------------------------------------------------
+// FastFDs (Wyss et al. 2001): minimal difference sets per consequent, then a
+// depth-first search for minimal covers ordered by coverage counts.
+
+class FastFds : public FdAlgorithm {
+ public:
+  std::string name() const override { return "fastfds"; }
+
+  FdResult Discover(const Relation& rel) override {
+    FdResult result;
+    const int n = rel.num_attrs();
+    const AttrSet all = AttrSet::All(n);
+
+    std::vector<std::pair<RowId, RowId>> pairs = CandidatePairs(rel);
+    result.work = static_cast<int64_t>(pairs.size());
+    std::vector<AttrSet> diff_sets;  // R \ agree-set per pair.
+    diff_sets.reserve(pairs.size());
+    for (const auto& [r1, r2] : pairs) {
+      diff_sets.push_back(all.Minus(AgreeSet(rel, r1, r2)));
+    }
+    std::sort(diff_sets.begin(), diff_sets.end());
+    diff_sets.erase(std::unique(diff_sets.begin(), diff_sets.end()),
+                    diff_sets.end());
+
+    for (AttrId a = 0; a < n; ++a) {
+      if (IsConstantColumn(rel, a)) {
+        result.fds.push_back(Ofd{AttrSet(), a, OfdKind::kSynonym});
+        continue;
+      }
+      AttrSet universe = all.Without(a);
+      // D_A: difference sets of pairs differing on a, minus a itself; the
+      // full universe stands in for not-enumerated pairs that agree nowhere.
+      std::vector<AttrSet> da = {universe};
+      for (AttrSet d : diff_sets) {
+        if (d.Contains(a)) da.push_back(d.Without(a));
+      }
+      da = MinimalSets(std::move(da));
+
+      // DFS for minimal covers, attributes ordered by coverage count.
+      std::vector<AttrSet> covers;
+      std::function<void(const std::vector<AttrSet>&, AttrSet, AttrSet)> search =
+          [&](const std::vector<AttrSet>& uncovered, AttrSet path, AttrSet allowed) {
+            if (uncovered.empty()) {
+              // Minimality check: every chosen attribute must uniquely cover
+              // some difference set.
+              for (AttrId b : path.ToVector()) {
+                AttrSet without = path.Without(b);
+                bool still_cover = true;
+                for (AttrSet d : da) {
+                  if (!d.Intersects(without)) {
+                    still_cover = false;
+                    break;
+                  }
+                }
+                if (still_cover) return;  // b redundant: not minimal.
+              }
+              covers.push_back(path);
+              return;
+            }
+            // Order candidate attributes by how many uncovered sets they hit.
+            std::vector<std::pair<int, AttrId>> ranked;
+            for (AttrId b : allowed.ToVector()) {
+              int cover_count = 0;
+              for (AttrSet d : uncovered) cover_count += d.Contains(b);
+              if (cover_count > 0) ranked.emplace_back(cover_count, b);
+            }
+            std::sort(ranked.begin(), ranked.end(), [](auto& x, auto& y) {
+              if (x.first != y.first) return x.first > y.first;
+              return x.second < y.second;
+            });
+            AttrSet remaining = allowed;
+            for (const auto& [_, b] : ranked) {
+              remaining = remaining.Without(b);
+              std::vector<AttrSet> next;
+              for (AttrSet d : uncovered) {
+                if (!d.Contains(b)) next.push_back(d);
+              }
+              search(next, path.With(b), remaining);
+            }
+          };
+      search(da, AttrSet(), universe);
+      covers = MinimalSets(std::move(covers));
+      for (AttrSet lhs : covers) {
+        result.fds.push_back(Ofd{lhs, a, OfdKind::kSynonym});
+      }
+    }
+    std::sort(result.fds.begin(), result.fds.end());
+    return result;
+  }
+};
+
+// --------------------------------------------------------------------------
+// FDep (Flach & Savnik 1999): negative cover from an explicit scan over all
+// tuple pairs, then specialization of {∅ -> A} against each invalid agree
+// set to obtain the positive cover.
+
+class FDep : public FdAlgorithm {
+ public:
+  std::string name() const override { return "fdep"; }
+
+  FdResult Discover(const Relation& rel) override {
+    FdResult result;
+    const int n = rel.num_attrs();
+
+    // Negative cover: for each consequent, the maximal agree sets of pairs
+    // that differ on it. FDep scans all O(N^2) pairs directly.
+    std::vector<std::vector<AttrSet>> neg(static_cast<size_t>(n));
+    for (RowId r1 = 0; r1 < rel.num_rows(); ++r1) {
+      for (RowId r2 = r1 + 1; r2 < rel.num_rows(); ++r2) {
+        ++result.work;
+        AttrSet ag = AgreeSet(rel, r1, r2);
+        for (AttrId a = 0; a < n; ++a) {
+          if (!ag.Contains(a)) neg[static_cast<size_t>(a)].push_back(ag);
+        }
+      }
+    }
+
+    for (AttrId a = 0; a < n; ++a) {
+      if (IsConstantColumn(rel, a)) {
+        result.fds.push_back(Ofd{AttrSet(), a, OfdKind::kSynonym});
+        continue;
+      }
+      AttrSet universe = AttrSet::All(n).Without(a);
+      std::vector<AttrSet> invalid = MaximalSets(std::move(neg[static_cast<size_t>(a)]));
+      // Positive cover by specialization: start from ∅ -> A; for each
+      // invalid set M, replace every cover element X ⊆ M by its minimal
+      // specializations X ∪ {B}, B ∉ M.
+      std::vector<AttrSet> cover = {AttrSet()};
+      for (AttrSet m : invalid) {
+        std::vector<AttrSet> keep;
+        std::vector<AttrSet> violating;
+        for (AttrSet x : cover) {
+          (x.IsSubsetOf(m) ? violating : keep).push_back(x);
+        }
+        if (violating.empty()) continue;
+        for (AttrSet x : violating) {
+          for (AttrId b : universe.Minus(m).ToVector()) {
+            AttrSet specialized = x.With(b);
+            bool subsumed = false;
+            for (AttrSet y : keep) {
+              if (y.IsSubsetOf(specialized)) {
+                subsumed = true;
+                break;
+              }
+            }
+            if (!subsumed) keep.push_back(specialized);
+          }
+        }
+        cover = MinimalSets(std::move(keep));
+      }
+      for (AttrSet lhs : cover) {
+        result.fds.push_back(Ofd{lhs, a, OfdKind::kSynonym});
+      }
+    }
+    std::sort(result.fds.begin(), result.fds.end());
+    return result;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<FdAlgorithm> MakeDepMiner() { return std::make_unique<DepMiner>(); }
+std::unique_ptr<FdAlgorithm> MakeFastFds() { return std::make_unique<FastFds>(); }
+std::unique_ptr<FdAlgorithm> MakeFDep() { return std::make_unique<FDep>(); }
+
+}  // namespace fastofd

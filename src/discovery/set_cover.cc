@@ -1,0 +1,87 @@
+#include "discovery/set_cover.h"
+
+#include <algorithm>
+
+#include "relation/partition.h"
+
+namespace fastofd {
+
+AttrSet AgreeSet(const Relation& rel, RowId a, RowId b) {
+  AttrSet s;
+  for (int attr = 0; attr < rel.num_attrs(); ++attr) {
+    if (rel.At(a, attr) == rel.At(b, attr)) s = s.With(attr);
+  }
+  return s;
+}
+
+std::vector<std::pair<RowId, RowId>> CandidatePairs(const Relation& rel) {
+  std::vector<std::pair<RowId, RowId>> pairs;
+  for (int attr = 0; attr < rel.num_attrs(); ++attr) {
+    StrippedPartition p = StrippedPartition::Build(rel, attr);
+    for (const auto& cls : p.classes()) {
+      for (size_t i = 0; i < cls.size(); ++i) {
+        for (size_t j = i + 1; j < cls.size(); ++j) {
+          pairs.emplace_back(cls[i], cls[j]);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+std::vector<AttrSet> MaximalSets(std::vector<AttrSet> sets) {
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::vector<AttrSet> out;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    bool maximal = true;
+    for (size_t j = 0; j < sets.size(); ++j) {
+      if (i != j && sets[i] != sets[j] && sets[i].IsSubsetOf(sets[j])) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) out.push_back(sets[i]);
+  }
+  return out;
+}
+
+std::vector<AttrSet> MinimalSets(std::vector<AttrSet> sets) {
+  std::sort(sets.begin(), sets.end());
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::vector<AttrSet> out;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    bool minimal = true;
+    for (size_t j = 0; j < sets.size(); ++j) {
+      if (i != j && sets[j].IsSubsetOf(sets[i]) && sets[i] != sets[j]) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(sets[i]);
+  }
+  return out;
+}
+
+std::vector<AttrSet> MinimalTransversals(const std::vector<AttrSet>& sets,
+                                         AttrSet universe) {
+  std::vector<AttrSet> result = {AttrSet()};
+  for (const AttrSet& s : sets) {
+    AttrSet restricted = s.Intersect(universe);
+    if (restricted.empty()) return {};  // Unhittable set.
+    std::vector<AttrSet> next;
+    for (const AttrSet& t : result) {
+      if (t.Intersects(restricted)) {
+        next.push_back(t);
+      } else {
+        for (AttrId a : restricted.ToVector()) next.push_back(t.With(a));
+      }
+    }
+    result = MinimalSets(std::move(next));
+  }
+  return result;
+}
+
+}  // namespace fastofd

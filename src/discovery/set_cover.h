@@ -1,0 +1,39 @@
+// Set-family utilities shared by the pairwise FD-discovery baselines:
+// agree/difference sets, maximal/minimal set filtering, and minimal
+// hitting-set (transversal) computation.
+
+#ifndef FASTOFD_DISCOVERY_SET_COVER_H_
+#define FASTOFD_DISCOVERY_SET_COVER_H_
+
+#include <utility>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// The agree set of two tuples: attributes on which they are equal.
+AttrSet AgreeSet(const Relation& rel, RowId a, RowId b);
+
+/// All tuple pairs with a non-empty agree set, computed from the stripped
+/// partitions of single attributes (DepMiner's trick: pairs agreeing
+/// nowhere contribute no constraints on non-empty antecedents).
+std::vector<std::pair<RowId, RowId>> CandidatePairs(const Relation& rel);
+
+/// Keeps only the ⊆-maximal sets of the family.
+std::vector<AttrSet> MaximalSets(std::vector<AttrSet> sets);
+
+/// Keeps only the ⊆-minimal sets of the family.
+std::vector<AttrSet> MinimalSets(std::vector<AttrSet> sets);
+
+/// Minimal transversals (hitting sets) of `sets` over `universe`, via the
+/// incremental Berge construction. Every returned set intersects every
+/// input set and is minimal with that property. An empty family yields {∅}.
+/// Exponential in the worst case (as is the FD-discovery output itself).
+std::vector<AttrSet> MinimalTransversals(const std::vector<AttrSet>& sets,
+                                         AttrSet universe);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_DISCOVERY_SET_COVER_H_

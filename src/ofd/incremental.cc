@@ -1,0 +1,61 @@
+#include "ofd/incremental.h"
+
+#include "common/check.h"
+
+namespace fastofd {
+
+IncrementalVerifier::IncrementalVerifier(Relation* rel, const SynonymIndex& index,
+                                         SigmaSet sigma)
+    : rel_(rel),
+      index_(index),
+      sigma_(std::move(sigma)),
+      verifier_(*rel, index) {
+  AttrSet lhs_attrs, rhs_attrs;
+  for (const Ofd& ofd : sigma_) {
+    lhs_attrs = lhs_attrs.Union(ofd.lhs);
+    rhs_attrs = rhs_attrs.With(ofd.rhs);
+  }
+  FASTOFD_CHECK(!lhs_attrs.Intersects(rhs_attrs));
+
+  states_.reserve(sigma_.size());
+  for (const Ofd& ofd : sigma_) {
+    OfdState state;
+    state.partition = StrippedPartition::BuildForSet(*rel_, ofd.lhs);
+    state.row_class.assign(static_cast<size_t>(rel_->num_rows()), -1);
+    const auto& classes = state.partition.classes();
+    state.class_ok.resize(classes.size());
+    for (size_t c = 0; c < classes.size(); ++c) {
+      for (RowId r : classes[c]) {
+        state.row_class[static_cast<size_t>(r)] = static_cast<int32_t>(c);
+      }
+      bool ok = verifier_.HoldsInClass(classes[c], ofd.rhs, ofd.kind);
+      state.class_ok[c] = ok;
+      state.violating += !ok;
+      ++classes_rechecked_;
+    }
+    total_violating_ += state.violating;
+    states_.push_back(std::move(state));
+  }
+}
+
+void IncrementalVerifier::UpdateCell(RowId row, AttrId attr, ValueId value) {
+  FASTOFD_CHECK(row >= 0 && row < rel_->num_rows());
+  rel_->SetId(row, attr, value);
+  for (size_t i = 0; i < sigma_.size(); ++i) {
+    if (sigma_[i].rhs != attr) continue;
+    OfdState& state = states_[i];
+    int32_t c = state.row_class[static_cast<size_t>(row)];
+    if (c < 0) continue;  // Singleton class: always satisfied.
+    bool ok = verifier_.HoldsInClass(state.partition.classes()[static_cast<size_t>(c)],
+                                     attr, sigma_[i].kind);
+    ++classes_rechecked_;
+    bool was_ok = state.class_ok[static_cast<size_t>(c)];
+    if (ok != was_ok) {
+      state.class_ok[static_cast<size_t>(c)] = ok;
+      state.violating += ok ? -1 : 1;
+      total_violating_ += ok ? -1 : 1;
+    }
+  }
+}
+
+}  // namespace fastofd

@@ -1,0 +1,154 @@
+#include "ofd/inference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+AttrSet ClosureNaive(AttrSet x, const std::vector<Dependency>& sigma) {
+  // Paper Algorithm 1: repeatedly apply any unused dependency whose
+  // antecedent is contained in X (the ORIGINAL set — no transitivity).
+  AttrSet closure = x;
+  std::vector<bool> used(sigma.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < sigma.size(); ++i) {
+      if (used[i]) continue;
+      if (x.ContainsAll(sigma[i].lhs)) {
+        closure = closure.Union(sigma[i].rhs);
+        used[i] = true;
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+AttrSet Closure(AttrSet x, const std::vector<Dependency>& sigma) {
+  // Without Transitivity the closure is a single pass: V -> Z contributes
+  // iff V ⊆ X. Linear in the total size of sigma.
+  AttrSet closure = x;
+  for (const Dependency& dep : sigma) {
+    if (x.ContainsAll(dep.lhs)) closure = closure.Union(dep.rhs);
+  }
+  return closure;
+}
+
+AttrSet FdClosure(AttrSet x, const std::vector<Dependency>& sigma) {
+  // Beeri–Bernstein LINCLOSURE: counters per dependency, attribute -> list
+  // of dependencies mentioning it on the left. Linear in ||sigma||.
+  AttrSet closure = x;
+  std::vector<int> counter(sigma.size());
+  std::vector<std::vector<int>> watch(64);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    counter[i] = sigma[i].lhs.size();
+    if (counter[i] == 0) closure = closure.Union(sigma[i].rhs);
+    for (AttrId a : sigma[i].lhs.ToVector()) {
+      watch[static_cast<size_t>(a)].push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<AttrId> queue = x.ToVector();
+  for (AttrId a : closure.Minus(x).ToVector()) queue.push_back(a);
+  AttrSet processed;
+  while (!queue.empty()) {
+    AttrId a = queue.back();
+    queue.pop_back();
+    if (processed.Contains(a)) continue;
+    processed = processed.With(a);
+    for (int i : watch[static_cast<size_t>(a)]) {
+      if (--counter[static_cast<size_t>(i)] == 0) {
+        for (AttrId add : sigma[static_cast<size_t>(i)].rhs.ToVector()) {
+          if (!closure.Contains(add)) {
+            closure = closure.With(add);
+            queue.push_back(add);
+          }
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<Dependency>& sigma, AttrSet lhs, AttrSet rhs) {
+  return Closure(lhs, sigma).ContainsAll(rhs);
+}
+
+std::vector<Dependency> ToDependencies(const SigmaSet& sigma) {
+  std::vector<Dependency> out;
+  out.reserve(sigma.size());
+  for (const Ofd& ofd : sigma) {
+    out.push_back({ofd.lhs, AttrSet::Single(ofd.rhs)});
+  }
+  return out;
+}
+
+bool ImpliesOfd(const SigmaSet& sigma, const Ofd& ofd) {
+  return Implies(ToDependencies(sigma), ofd.lhs, AttrSet::Single(ofd.rhs));
+}
+
+bool ImpliesFd(const SigmaSet& sigma, const Ofd& fd) {
+  return FdClosure(fd.lhs, ToDependencies(sigma)).Contains(fd.rhs);
+}
+
+SigmaSet MinimalCover(const SigmaSet& sigma) {
+  // Step 1: consequents are already single attributes (SigmaSet invariant);
+  // drop exact duplicates and trivial dependencies (A ∈ X).
+  SigmaSet work;
+  for (const Ofd& ofd : sigma) {
+    if (ofd.lhs.Contains(ofd.rhs)) continue;  // Trivial by Reflexivity.
+    if (std::find(work.begin(), work.end(), ofd) == work.end()) work.push_back(ofd);
+  }
+
+  // Step 2: remove extraneous antecedent attributes. B is extraneous in
+  // X -> A iff A ∈ closure(X \ B) under the current set (which may use
+  // X -> A itself). Shrinking one dependency can enable shrinking another,
+  // so iterate to a global fixpoint.
+  bool any_shrunk = true;
+  while (any_shrunk) {
+    any_shrunk = false;
+    for (size_t i = 0; i < work.size(); ++i) {
+      bool shrunk = true;
+      while (shrunk) {
+        shrunk = false;
+        for (AttrId b : work[i].lhs.ToVector()) {
+          AttrSet reduced = work[i].lhs.Without(b);
+          if (Closure(reduced, ToDependencies(work)).Contains(work[i].rhs)) {
+            work[i].lhs = reduced;
+            shrunk = true;
+            any_shrunk = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Shrinking can create duplicates; drop them before redundancy removal.
+  SigmaSet dedup;
+  for (const Ofd& ofd : work) {
+    if (std::find(dedup.begin(), dedup.end(), ofd) == dedup.end()) {
+      dedup.push_back(ofd);
+    }
+  }
+  work = std::move(dedup);
+
+  // Step 3: remove redundant dependencies. X -> A is redundant iff
+  // A ∈ closure(X) under Σ \ {X -> A}.
+  for (size_t i = 0; i < work.size();) {
+    SigmaSet rest;
+    rest.reserve(work.size() - 1);
+    for (size_t j = 0; j < work.size(); ++j) {
+      if (j != i) rest.push_back(work[j]);
+    }
+    if (Closure(work[i].lhs, ToDependencies(rest)).Contains(work[i].rhs)) {
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return work;
+}
+
+}  // namespace fastofd

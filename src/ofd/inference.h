@@ -1,0 +1,75 @@
+// Axiomatic inference for OFDs (paper §3).
+//
+// OFD axioms (Theorem 3.3): Identity, Decomposition, Composition. These are
+// provably equivalent to Lien's NFD axioms (Theorem 3.6), so logical
+// inference reduces to closure computation exactly as for FDs — even though
+// *data verification* of OFDs differs (it needs whole equivalence classes,
+// not tuple pairs; see verifier.h).
+//
+// This module provides:
+//   - Closure(X, Σ): the attribute closure X+ (paper Algorithm 1), in time
+//     linear in the total size of Σ (Beeri–Bernstein counter algorithm);
+//   - Implies / ImpliesOfd: Σ ⊨ X→Y iff Y ⊆ X+ (paper Lemma 3.2);
+//   - MinimalCover: an equivalent Σ that is minimal per Definition 3.7
+//     (single consequents, no extraneous antecedent attributes, no
+//     redundant dependencies).
+
+#ifndef FASTOFD_OFD_INFERENCE_H_
+#define FASTOFD_OFD_INFERENCE_H_
+
+#include <vector>
+
+#include "ofd/ofd.h"
+#include "relation/attr_set.h"
+
+namespace fastofd {
+
+/// A (possibly multi-consequent) dependency X -> Y used by the inference
+/// machinery; semantically an OFD whose consequent set is Y.
+struct Dependency {
+  AttrSet lhs;
+  AttrSet rhs;
+
+  friend bool operator==(const Dependency& a, const Dependency& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// Computes the OFD closure X+ of `x` under `sigma` (paper Algorithm 1).
+///
+/// CRUCIAL: OFDs have no Transitivity axiom, so a dependency V -> Z fires
+/// only when V ⊆ X — the *original* attribute set, not the accumulating
+/// closure. (With {A->B, B->C}, closure(A) = {A,B}: A->C is NOT derivable,
+/// matching the semantic counterexample in §3.1.) Linear in ||sigma||.
+AttrSet Closure(AttrSet x, const std::vector<Dependency>& sigma);
+
+/// Reference implementation of paper Algorithm 1 with the explicit
+/// unused-set loop. Exposed for testing and documentation.
+AttrSet ClosureNaive(AttrSet x, const std::vector<Dependency>& sigma);
+
+/// Classic *transitive* FD closure (Beeri–Bernstein counter algorithm, also
+/// linear). This is the closure for traditional FDs — used when reasoning
+/// about the FD-discovery baselines, NOT for OFD implication.
+AttrSet FdClosure(AttrSet x, const std::vector<Dependency>& sigma);
+
+/// True iff sigma ⊨ lhs -> rhs under OFD axioms (Lemma 3.2).
+bool Implies(const std::vector<Dependency>& sigma, AttrSet lhs, AttrSet rhs);
+
+/// True iff sigma ⊨ ofd, treating each OFD in sigma as a dependency.
+bool ImpliesOfd(const SigmaSet& sigma, const Ofd& ofd);
+
+/// FD implication (transitive) between sets of single-consequent FDs.
+bool ImpliesFd(const SigmaSet& sigma, const Ofd& fd);
+
+/// Computes a minimal cover of `sigma` (Definition 3.7): every consequent a
+/// single attribute, no antecedent attribute removable, no dependency
+/// removable. Ties are broken deterministically by input order.
+SigmaSet MinimalCover(const SigmaSet& sigma);
+
+/// Converts OFDs to generic dependencies (kind is erased: inference is the
+/// same for synonym and inheritance OFDs, per the shared axiom system).
+std::vector<Dependency> ToDependencies(const SigmaSet& sigma);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_OFD_INFERENCE_H_

@@ -1,0 +1,79 @@
+#include "ofd/lhs_synonym.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+namespace {
+
+// Canonical representative of v under sense s: the sense's smallest member
+// when v belongs to s, v itself otherwise.
+ValueId CanonicalUnder(const SynonymIndex& index, SenseId s, ValueId v) {
+  if (!index.SenseContains(s, v)) return v;
+  const std::vector<ValueId>& members = index.SenseValues(s);
+  return *std::min_element(members.begin(), members.end());
+}
+
+// Checks the consequent condition over one merged class given its rows.
+bool ClassSatisfies(const Relation& rel, const SynonymIndex& index,
+                    const std::vector<RowId>& rows, AttrId rhs) {
+  std::vector<ValueId> distinct;
+  distinct.reserve(rows.size());
+  for (RowId r : rows) distinct.push_back(rel.At(r, rhs));
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  if (distinct.size() <= 1) return true;
+  std::unordered_map<SenseId, size_t> counts;
+  for (ValueId v : distinct) {
+    const std::vector<SenseId>& senses = index.Senses(v);
+    if (senses.empty()) return false;
+    for (SenseId s : senses) ++counts[s];
+  }
+  for (const auto& [_, c] : counts) {
+    if (c == distinct.size()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool HoldsWithLhsSynonyms(const Relation& rel, const SynonymIndex& index,
+                          const Ofd& ofd, LhsSynonymStats* stats) {
+  FASTOFD_CHECK(ofd.kind == OfdKind::kSynonym);
+  std::vector<AttrId> lhs_attrs = ofd.lhs.ToVector();
+
+  // Interpretation loop: the literal reading (sense = kInvalidSense) plus
+  // every ontology sense. A sense merging no antecedent values degenerates
+  // to the literal partition, so the literal case is subsumed — but senses
+  // may not exist at all, hence the explicit first iteration.
+  std::vector<SenseId> interpretations = {kInvalidSense};
+  for (SenseId s = 0; s < index.num_senses(); ++s) interpretations.push_back(s);
+
+  std::map<std::vector<ValueId>, std::vector<RowId>> classes;
+  std::vector<ValueId> key(lhs_attrs.size());
+  for (SenseId lambda : interpretations) {
+    if (stats) ++stats->interpretations;
+    classes.clear();
+    for (RowId r = 0; r < rel.num_rows(); ++r) {
+      for (size_t i = 0; i < lhs_attrs.size(); ++i) {
+        ValueId v = rel.At(r, lhs_attrs[i]);
+        if (lambda != kInvalidSense) v = CanonicalUnder(index, lambda, v);
+        key[i] = v;
+      }
+      classes[key].push_back(r);
+    }
+    for (const auto& [_, rows] : classes) {
+      if (rows.size() < 2) continue;
+      if (stats) ++stats->classes_evaluated;
+      if (!ClassSatisfies(rel, index, rows, ofd.rhs)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastofd

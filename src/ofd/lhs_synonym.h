@@ -1,0 +1,43 @@
+// Synonym relationships in ANTECEDENT attributes — the paper's stated next
+// step (§9 and response-letter W2).
+//
+// When antecedent values may themselves be synonyms, each sense λ induces a
+// coarser partition: X-values synonymous under λ collapse to one class.
+// Following the response letter, validation must consider *every*
+// interpretation — under each sense λ the merged classes must satisfy the
+// consequent condition — which multiplies the number of equivalence classes
+// evaluated (the cost that made the paper defer antecedent synonyms).
+// Merged classes are unions of literal classes, so satisfaction here is
+// strictly stronger than the plain OFD: a violation can hide across two
+// literal classes that a sense merges (see the response letter's Table 9).
+
+#ifndef FASTOFD_OFD_LHS_SYNONYM_H_
+#define FASTOFD_OFD_LHS_SYNONYM_H_
+
+#include <cstdint>
+
+#include "ofd/ofd.h"
+#include "ontology/synonym_index.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// Cost accounting for LHS-synonym validation.
+struct LhsSynonymStats {
+  /// Interpretations (senses) evaluated.
+  int64_t interpretations = 0;
+  /// Equivalence classes examined across all interpretations (compare with
+  /// the plain OFD's single partition).
+  int64_t classes_evaluated = 0;
+};
+
+/// True iff `ofd` holds when antecedent values are interpreted under every
+/// sense: for each sense λ, the partition of X with λ-synonymous values
+/// merged must satisfy the consequent-common-sense condition. `stats` may
+/// be null.
+bool HoldsWithLhsSynonyms(const Relation& rel, const SynonymIndex& index,
+                          const Ofd& ofd, LhsSynonymStats* stats = nullptr);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_OFD_LHS_SYNONYM_H_

@@ -1,0 +1,101 @@
+#include "ofd/metric_fd.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ofd/verifier.h"
+#include "relation/partition.h"
+
+namespace fastofd {
+
+int EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t m = a.size(), n = b.size();
+  std::vector<int> row(m + 1);
+  for (size_t i = 0; i <= m; ++i) row[i] = static_cast<int>(i);
+  for (size_t j = 1; j <= n; ++j) {
+    int prev_diag = row[0];
+    row[0] = static_cast<int>(j);
+    for (size_t i = 1; i <= m; ++i) {
+      int subst = prev_diag + (a[i - 1] != b[j - 1]);
+      prev_diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, subst});
+    }
+  }
+  return row[m];
+}
+
+bool MetricFdHolds(const Relation& rel, AttrSet lhs, AttrId rhs, int delta) {
+  StrippedPartition p = StrippedPartition::BuildForSet(rel, lhs);
+  for (const auto& rows : p.classes()) {
+    // Pairwise over the *distinct* values of the class.
+    std::vector<ValueId> distinct;
+    distinct.reserve(rows.size());
+    for (RowId r : rows) distinct.push_back(rel.At(r, rhs));
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+    for (size_t i = 0; i < distinct.size(); ++i) {
+      for (size_t j = i + 1; j < distinct.size(); ++j) {
+        if (EditDistance(rel.dict().String(distinct[i]),
+                         rel.dict().String(distinct[j])) > delta) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+MetricComparison CompareMetricVsOfd(const Relation& rel, const SynonymIndex& index,
+                                    const Ofd& ofd, int delta) {
+  MetricComparison cmp;
+  StrippedPartition p = StrippedPartition::BuildForSet(rel, ofd.lhs);
+  std::unordered_map<ValueId, int64_t> freq;
+  std::unordered_map<SenseId, int64_t> sense_cover;
+  for (const auto& rows : p.classes()) {
+    cmp.tuples += static_cast<int64_t>(rows.size());
+    freq.clear();
+    sense_cover.clear();
+    for (RowId r : rows) {
+      ValueId v = rel.At(r, ofd.rhs);
+      ++freq[v];
+      for (SenseId s : index.Senses(v)) ++sense_cover[s];
+    }
+    // Majority value (the MFD/FD repair anchor) and best sense (the OFD
+    // interpretation).
+    ValueId majority = kInvalidValue;
+    int64_t majority_count = -1;
+    for (const auto& [v, c] : freq) {
+      if (c > majority_count || (c == majority_count && v < majority)) {
+        majority = v;
+        majority_count = c;
+      }
+    }
+    SenseId best_sense = kInvalidSense;
+    int64_t best_cover = 0;
+    for (const auto& [s, c] : sense_cover) {
+      if (c > best_cover || (c == best_cover && s < best_sense)) {
+        best_sense = s;
+        best_cover = c;
+      }
+    }
+    const std::string& majority_str = rel.dict().String(majority);
+    for (RowId r : rows) {
+      ValueId v = rel.At(r, ofd.rhs);
+      bool mfd_flag =
+          v != majority && EditDistance(rel.dict().String(v), majority_str) > delta;
+      bool ofd_flag = v != majority &&
+                      !(best_sense != kInvalidSense &&
+                        index.SenseContains(best_sense, v) &&
+                        index.SenseContains(best_sense, majority));
+      cmp.mfd_flagged += mfd_flag;
+      cmp.ofd_flagged += ofd_flag;
+      cmp.mfd_only += (mfd_flag && !ofd_flag);
+      cmp.ofd_only += (ofd_flag && !mfd_flag);
+    }
+  }
+  return cmp;
+}
+
+}  // namespace fastofd

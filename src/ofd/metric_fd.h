@@ -1,0 +1,60 @@
+// Metric Functional Dependencies (Koudas et al. 2009), the closest relative
+// the paper compares against (§2 "Relationship to other dependencies").
+//
+// A Metric FD X -> A (δ) holds when any two tuples agreeing on X have
+// A-values within distance δ under some metric — here Levenshtein edit
+// distance, the standard instantiation. The paper's arguments reproduce:
+//   - MFDs capture small syntactic variation ("IBM" vs "IBM Inc.") but NOT
+//     semantic equivalence: "USA" and "America" are far apart in edit
+//     distance yet synonymous, so MFD-based cleaning still flags synonyms;
+//   - OFDs cannot be reduced to MFDs because ontological similarity is not
+//     a metric (synonyms violate the identity of indiscernibles: distinct
+//     strings at semantic distance zero), and values may have multiple
+//     senses so no canonicalization fixes this.
+// Verification is pairwise within each equivalence class.
+
+#ifndef FASTOFD_OFD_METRIC_FD_H_
+#define FASTOFD_OFD_METRIC_FD_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "ofd/ofd.h"
+#include "ontology/synonym_index.h"
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+int EditDistance(std::string_view a, std::string_view b);
+
+/// True iff the Metric FD lhs -> rhs (delta) holds: within every equivalence
+/// class of Π_lhs, all pairs of consequent values are within edit distance
+/// `delta`. delta = 0 is the traditional FD.
+bool MetricFdHolds(const Relation& rel, AttrSet lhs, AttrId rhs, int delta);
+
+/// Tuple-level comparison of MFD and OFD error flagging. Within each class,
+/// the MFD flags tuples whose value lies beyond edit distance delta from
+/// the class's majority value; the OFD flags tuples outside the class's
+/// best sense (and different from the majority value).
+struct MetricComparison {
+  int64_t tuples = 0;       ///< Tuples in non-singleton classes.
+  int64_t mfd_flagged = 0;  ///< Tuples the Metric FD would repair.
+  int64_t ofd_flagged = 0;  ///< Tuples the OFD would repair.
+  /// Flagged by the MFD only: synonyms whose surface forms are far apart —
+  /// the MFD's false positives under OFD semantics.
+  int64_t mfd_only = 0;
+  /// Flagged by the OFD only: semantically wrong values that happen to be
+  /// within delta of the majority — errors the MFD misses.
+  int64_t ofd_only = 0;
+};
+
+/// Evaluates `ofd` under both Metric-FD (edit distance ≤ delta) and synonym
+/// OFD semantics, class by class.
+MetricComparison CompareMetricVsOfd(const Relation& rel, const SynonymIndex& index,
+                                    const Ofd& ofd, int delta);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_OFD_METRIC_FD_H_

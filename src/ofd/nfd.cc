@@ -1,0 +1,36 @@
+#include "ofd/nfd.h"
+
+#include "common/dictionary.h"
+
+namespace fastofd {
+
+bool NfdHolds(const Relation& rel, AttrSet lhs, AttrId rhs,
+              const std::string& null_token) {
+  ValueId null_id = rel.dict().Lookup(null_token);
+  auto is_null = [null_id](ValueId v) { return v == null_id; };
+
+  for (RowId a = 0; a < rel.num_rows(); ++a) {
+    for (RowId b = a + 1; b < rel.num_rows(); ++b) {
+      // Agreement on X: equal wherever *both* are non-null; Lien's weak
+      // reading treats a null as compatible with anything.
+      bool x_agree = true;
+      for (AttrId attr : lhs.ToVector()) {
+        ValueId va = rel.At(a, attr);
+        ValueId vb = rel.At(b, attr);
+        if (is_null(va) || is_null(vb)) continue;
+        if (va != vb) {
+          x_agree = false;
+          break;
+        }
+      }
+      if (!x_agree) continue;
+      ValueId ya = rel.At(a, rhs);
+      ValueId yb = rel.At(b, rhs);
+      if (is_null(ya) || is_null(yb)) continue;  // Partial consequents allowed.
+      if (ya != yb) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,35 @@
+// Null Functional Dependencies (Lien 1982), the comparison class of paper
+// §3 (Theorems 3.4–3.6).
+//
+// An NFD X -> Y holds when any two tuples that agree on the *non-null*
+// values of X agree on Y. The paper proves that the OFD axiom system
+// {Identity, Decomposition, Composition} is equivalent to Lien's NFD system
+// {Reflexivity, Append, Union, Simplification} — so logical inference
+// coincides (see inference.h) — while the *data semantics* differ in both
+// directions:
+//   - [CC] -> [CTRY] in Table 1 holds as an OFD (synonyms) but fails as an
+//     NFD (no nulls, syntactically distinct values);
+//   - with nulls, an NFD can hold where the corresponding OFD fails
+//     (a null matches everything for the NFD, but is just a value outside
+//     the ontology for the OFD).
+// NFD verification is pairwise; OFD verification needs whole classes.
+
+#ifndef FASTOFD_OFD_NFD_H_
+#define FASTOFD_OFD_NFD_H_
+
+#include <string>
+
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// True iff the NFD lhs -> rhs holds over `rel`, treating cells equal to
+/// `null_token` as unknown. O(N^2) pairwise semantics (kept simple: this
+/// class exists for the semantic comparison, not for discovery).
+bool NfdHolds(const Relation& rel, AttrSet lhs, AttrId rhs,
+              const std::string& null_token = "");
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_OFD_NFD_H_

@@ -1,0 +1,10 @@
+#include "ofd/ofd.h"
+
+namespace fastofd {
+
+std::string RenderOfd(const Ofd& ofd, const Schema& schema) {
+  std::string arrow = ofd.kind == OfdKind::kSynonym ? " ->syn " : " ->inh ";
+  return schema.Render(ofd.lhs) + arrow + schema.Render(AttrSet::Single(ofd.rhs));
+}
+
+}  // namespace fastofd

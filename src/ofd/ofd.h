@@ -1,0 +1,54 @@
+// Ontology Functional Dependencies (paper Definition 2.1).
+//
+// A synonym OFD X ->_syn A holds over instance I w.r.t. ontology S iff for
+// every equivalence class x of Π_X(I) there exists a sense under which all
+// A-values of tuples in x are synonyms. Per the axioms (Theorem 3.3,
+// Decomposition/Composition), dependencies normalize to a single consequent
+// attribute; the general multi-attribute form used by the inference machinery
+// lives in inference.h.
+
+#ifndef FASTOFD_OFD_OFD_H_
+#define FASTOFD_OFD_OFD_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/schema.h"
+
+namespace fastofd {
+
+/// The kind of ontological relationship on the consequent.
+enum class OfdKind {
+  /// X ->_syn A: consequent values share a sense (the paper's focus).
+  kSynonym,
+  /// X ->_inh A: consequent values share an ancestor concept within theta
+  /// ontology levels (the earlier work's inheritance variant; extension).
+  kInheritance,
+};
+
+/// A normalized OFD: antecedent attribute set, single consequent attribute.
+struct Ofd {
+  AttrSet lhs;
+  AttrId rhs = -1;
+  OfdKind kind = OfdKind::kSynonym;
+
+  friend bool operator==(const Ofd& a, const Ofd& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs && a.kind == b.kind;
+  }
+  friend bool operator<(const Ofd& a, const Ofd& b) {
+    if (a.lhs != b.lhs) return a.lhs < b.lhs;
+    if (a.rhs != b.rhs) return a.rhs < b.rhs;
+    return a.kind < b.kind;
+  }
+};
+
+/// Renders an OFD like "[SYMP,DIAG] ->syn [MED]".
+std::string RenderOfd(const Ofd& ofd, const Schema& schema);
+
+/// A set Σ of OFDs.
+using SigmaSet = std::vector<Ofd>;
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_OFD_OFD_H_

@@ -1,0 +1,107 @@
+#include "ofd/sigma_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fastofd {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Result<SigmaSet> ParseSigma(std::string_view text, const Schema& schema) {
+  SigmaSet sigma;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+
+    auto error = [line_no](const std::string& msg) {
+      return Status::Error("sigma parse error (line " + std::to_string(line_no) +
+                           "): " + msg);
+    };
+
+    OfdKind kind = OfdKind::kSynonym;
+    size_t arrow = line.find("->inh");
+    size_t arrow_len = 5;
+    if (arrow != std::string_view::npos) {
+      kind = OfdKind::kInheritance;
+    } else {
+      arrow = line.find("->syn");
+      if (arrow == std::string_view::npos) {
+        arrow = line.find("->");
+        arrow_len = 2;
+      }
+    }
+    if (arrow == std::string_view::npos) return error("missing '->'");
+
+    std::string_view lhs_text = Trim(line.substr(0, arrow));
+    std::string_view rhs_text = Trim(line.substr(arrow + arrow_len));
+    if (rhs_text.empty()) return error("missing consequent");
+
+    AttrSet lhs;
+    if (lhs_text != "{}") {
+      size_t p = 0;
+      while (p <= lhs_text.size()) {
+        size_t comma = lhs_text.find(',', p);
+        std::string_view name = Trim(lhs_text.substr(
+            p, comma == std::string_view::npos ? lhs_text.size() - p : comma - p));
+        p = (comma == std::string_view::npos) ? lhs_text.size() + 1 : comma + 1;
+        if (name.empty()) continue;
+        AttrId a = schema.Find(name);
+        if (a < 0) return error("unknown attribute '" + std::string(name) + "'");
+        lhs = lhs.With(a);
+      }
+    }
+    AttrId rhs = schema.Find(rhs_text);
+    if (rhs < 0) {
+      return error("unknown attribute '" + std::string(rhs_text) + "'");
+    }
+    if (lhs.Contains(rhs)) return error("trivial dependency (consequent in antecedent)");
+    sigma.push_back(Ofd{lhs, rhs, kind});
+  }
+  return sigma;
+}
+
+Result<SigmaSet> ReadSigmaFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open sigma file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSigma(buf.str(), schema);
+}
+
+std::string WriteSigma(const SigmaSet& sigma, const Schema& schema) {
+  std::string out;
+  for (const Ofd& ofd : sigma) {
+    if (ofd.lhs.empty()) {
+      out += "{}";
+    } else {
+      bool first = true;
+      for (AttrId a : ofd.lhs.ToVector()) {
+        if (!first) out += ", ";
+        out += schema.name(a);
+        first = false;
+      }
+    }
+    out += ofd.kind == OfdKind::kSynonym ? " ->syn " : " ->inh ";
+    out += schema.name(ofd.rhs);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,35 @@
+// Text serialization for sets of OFDs.
+//
+// Line format (one dependency per line, '#' comments allowed):
+//
+//   CC -> CTRY
+//   SYMP, DIAG ->syn MED
+//   GROUP ->inh MED
+//
+// '->' and '->syn' both denote synonym OFDs; '->inh' denotes inheritance.
+// An empty antecedent is written as '{}' (constant-column dependency).
+
+#ifndef FASTOFD_OFD_SIGMA_IO_H_
+#define FASTOFD_OFD_SIGMA_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "ofd/ofd.h"
+#include "relation/schema.h"
+
+namespace fastofd {
+
+/// Parses a Σ file against a schema (attribute names must resolve).
+Result<SigmaSet> ParseSigma(std::string_view text, const Schema& schema);
+
+/// Reads and parses a Σ file.
+Result<SigmaSet> ReadSigmaFile(const std::string& path, const Schema& schema);
+
+/// Serializes Σ (round-trips ParseSigma).
+std::string WriteSigma(const SigmaSet& sigma, const Schema& schema);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_OFD_SIGMA_IO_H_

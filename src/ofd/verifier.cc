@@ -1,0 +1,132 @@
+#include "ofd/verifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+namespace {
+
+// Distinct values of `attr` among `rows` (sorted).
+std::vector<ValueId> DistinctValues(const Relation& rel, const std::vector<RowId>& rows,
+                                    AttrId attr) {
+  std::vector<ValueId> vals;
+  vals.reserve(rows.size());
+  for (RowId r : rows) vals.push_back(rel.At(r, attr));
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return vals;
+}
+
+}  // namespace
+
+bool OfdVerifier::SynonymClassHolds(const std::vector<ValueId>& distinct) const {
+  if (distinct.size() <= 1) return true;  // FD reduction (Opt-4).
+  // Count, for each sense, how many of the distinct values it contains.
+  // The OFD holds in this class iff some sense contains them all
+  // (non-empty intersection of names(v), Definition 2.1).
+  std::unordered_map<SenseId, size_t> counts;
+  for (ValueId v : distinct) {
+    const std::vector<SenseId>& senses = index_.Senses(v);
+    if (senses.empty()) return false;  // Value outside the ontology.
+    for (SenseId s : senses) ++counts[s];
+  }
+  for (const auto& [sense, count] : counts) {
+    if (count == distinct.size()) return true;
+  }
+  return false;
+}
+
+bool OfdVerifier::InheritanceClassHolds(const std::vector<ValueId>& distinct) const {
+  if (distinct.size() <= 1) return true;
+  FASTOFD_CHECK(ontology_ != nullptr);
+  // Each value reaches the concepts of its senses plus up to theta ancestors;
+  // the class satisfies iff some concept is reachable from every value.
+  std::unordered_map<ConceptId, size_t> counts;
+  for (ValueId v : distinct) {
+    const std::vector<SenseId>& senses = index_.Senses(v);
+    if (senses.empty()) return false;
+    // Collect this value's reachable concepts (dedup before counting).
+    std::vector<ConceptId> reach;
+    for (SenseId s : senses) {
+      ConceptId c = ontology_->sense_concept(s);
+      for (int hop = 0; hop <= theta_ && c != kInvalidConcept; ++hop) {
+        reach.push_back(c);
+        c = ontology_->parent(c);
+      }
+    }
+    std::sort(reach.begin(), reach.end());
+    reach.erase(std::unique(reach.begin(), reach.end()), reach.end());
+    for (ConceptId c : reach) ++counts[c];
+  }
+  for (const auto& [c, count] : counts) {
+    if (count == distinct.size()) return true;
+  }
+  return false;
+}
+
+bool OfdVerifier::HoldsInClass(const std::vector<RowId>& rows, AttrId rhs,
+                               OfdKind kind) const {
+  std::vector<ValueId> distinct = DistinctValues(rel_, rows, rhs);
+  return kind == OfdKind::kSynonym ? SynonymClassHolds(distinct)
+                                   : InheritanceClassHolds(distinct);
+}
+
+bool OfdVerifier::Holds(const Ofd& ofd) const {
+  return Holds(ofd, StrippedPartition::BuildForSet(rel_, ofd.lhs));
+}
+
+bool OfdVerifier::Holds(const Ofd& ofd, const StrippedPartition& lhs_partition) const {
+  for (const auto& cls : lhs_partition.classes()) {
+    if (!HoldsInClass(cls, ofd.rhs, ofd.kind)) return false;
+  }
+  return true;
+}
+
+double OfdVerifier::Support(const Ofd& ofd,
+                            const StrippedPartition& lhs_partition) const {
+  FASTOFD_CHECK(ofd.kind == OfdKind::kSynonym);
+  if (rel_.num_rows() == 0) return 1.0;
+  // Singleton classes (stripped away) are trivially satisfied.
+  int64_t satisfied = lhs_partition.num_rows() - lhs_partition.sum_sizes();
+  std::unordered_map<SenseId, int64_t> sense_tuples;
+  std::unordered_map<ValueId, int64_t> literal_tuples;
+  for (const auto& cls : lhs_partition.classes()) {
+    sense_tuples.clear();
+    literal_tuples.clear();
+    for (RowId r : cls) {
+      ValueId v = rel_.At(r, ofd.rhs);
+      ++literal_tuples[v];
+      for (SenseId s : index_.Senses(v)) ++sense_tuples[s];
+    }
+    // Best interpretation: a single sense, or a single literal value
+    // (covers values outside the ontology).
+    int64_t best = 0;
+    for (const auto& [_, n] : literal_tuples) best = std::max(best, n);
+    for (const auto& [_, n] : sense_tuples) best = std::max(best, n);
+    satisfied += best;
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(rel_.num_rows());
+}
+
+SynonymSavings OfdVerifier::Savings(const Ofd& ofd,
+                                    const StrippedPartition& lhs_partition) const {
+  SynonymSavings stats;
+  for (const auto& cls : lhs_partition.classes()) {
+    ++stats.classes;
+    stats.class_tuples += static_cast<int64_t>(cls.size());
+    std::vector<ValueId> distinct = DistinctValues(rel_, cls, ofd.rhs);
+    if (distinct.size() <= 1) continue;  // Syntactically clean class.
+    bool holds = ofd.kind == OfdKind::kSynonym ? SynonymClassHolds(distinct)
+                                               : InheritanceClassHolds(distinct);
+    if (holds) {
+      ++stats.synonym_classes;
+      stats.saved_tuples += static_cast<int64_t>(cls.size());
+    }
+  }
+  return stats;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,81 @@
+// Data verification of OFDs (paper Definition 2.1 and §4.3).
+//
+// Unlike FDs, OFDs cannot be checked on tuple pairs: a class may satisfy the
+// dependency pairwise while the intersection of all senses is empty (paper
+// Table 2). Verification therefore scans each equivalence class of Π*_X and
+// checks for a sense covering *all distinct* consequent values, via a
+// counting pass over a sense->count hash map — linear in the class size under
+// the indexed-ontology assumption.
+
+#ifndef FASTOFD_OFD_VERIFIER_H_
+#define FASTOFD_OFD_VERIFIER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ofd/ofd.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// Statistics for the paper's Exp-5 ("eliminating false-positive errors"):
+/// how many tuples satisfy an OFD only thanks to synonyms (a pure-FD cleaner
+/// would flag them as errors).
+struct SynonymSavings {
+  /// Classes of Π*_X examined (non-singleton).
+  int64_t classes = 0;
+  /// Classes whose consequent values are NOT all syntactically equal but
+  /// which still satisfy the OFD via a shared sense.
+  int64_t synonym_classes = 0;
+  /// Tuples inside those synonym_classes — the false positives saved.
+  int64_t saved_tuples = 0;
+  /// Tuples in all examined classes.
+  int64_t class_tuples = 0;
+};
+
+/// Verifies synonym (and, as an extension, inheritance) OFDs over a relation.
+class OfdVerifier {
+ public:
+  /// `ontology` may be null; it is only needed for inheritance OFDs.
+  /// `theta` bounds the ancestor distance for inheritance checks.
+  OfdVerifier(const Relation& rel, const SynonymIndex& index,
+              const Ontology* ontology = nullptr, int theta = 2)
+      : rel_(rel), index_(index), ontology_(ontology), theta_(theta) {}
+
+  /// Exact satisfaction check; computes Π*_lhs internally.
+  bool Holds(const Ofd& ofd) const;
+
+  /// Exact satisfaction check against a precomputed Π*_lhs (discovery path).
+  bool Holds(const Ofd& ofd, const StrippedPartition& lhs_partition) const;
+
+  /// Satisfaction within one equivalence class (rows of the class).
+  bool HoldsInClass(const std::vector<RowId>& rows, AttrId rhs, OfdKind kind) const;
+
+  /// Approximate-OFD support s(φ)/|I| (paper §4): the max fraction of tuples
+  /// retaining which the OFD holds, computed per class as the best of
+  /// (a) the most frequent sense's tuple coverage and (b) the most frequent
+  /// single literal value.
+  double Support(const Ofd& ofd, const StrippedPartition& lhs_partition) const;
+
+  /// Exp-5 statistic for a (presumably satisfied) OFD.
+  SynonymSavings Savings(const Ofd& ofd, const StrippedPartition& lhs_partition) const;
+
+  const Relation& relation() const { return rel_; }
+  const SynonymIndex& index() const { return index_; }
+
+ private:
+  bool SynonymClassHolds(const std::vector<ValueId>& distinct) const;
+  bool InheritanceClassHolds(const std::vector<ValueId>& distinct) const;
+
+  const Relation& rel_;
+  const SynonymIndex& index_;
+  const Ontology* ontology_;
+  int theta_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_OFD_VERIFIER_H_

@@ -1,0 +1,52 @@
+#include "ontology/generator.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace fastofd {
+
+Ontology GenerateOntology(const OntologyGenConfig& config) {
+  FASTOFD_CHECK(config.num_senses > 0);
+  FASTOFD_CHECK(config.values_per_sense > 0);
+  FASTOFD_CHECK(config.num_concepts > 0);
+  Rng rng(config.seed);
+  Ontology ont;
+
+  // Tree of concepts: each node's parent is a random earlier node.
+  ont.AddConcept(config.value_prefix + "_root");
+  for (int c = 1; c < config.num_concepts; ++c) {
+    ConceptId parent = static_cast<ConceptId>(rng.NextUint(static_cast<uint64_t>(c)));
+    ont.AddConcept(config.value_prefix + "_concept" + std::to_string(c), parent);
+  }
+
+  std::vector<std::string> used_values;
+  int fresh_counter = 0;
+  for (int s = 0; s < config.num_senses; ++s) {
+    ConceptId concept_id =
+        static_cast<ConceptId>(rng.NextUint(static_cast<uint64_t>(config.num_concepts)));
+    SenseId sense =
+        ont.AddSense(config.value_prefix + "_sense" + std::to_string(s), concept_id);
+    for (int v = 0; v < config.values_per_sense; ++v) {
+      // Each sense receives exactly values_per_sense distinct values; a
+      // duplicate reuse pick falls back to a fresh value.
+      bool added = false;
+      if (!used_values.empty() && rng.NextBernoulli(config.overlap)) {
+        const std::string& pick =
+            used_values[rng.NextUint(used_values.size())];
+        added = ont.AddValue(sense, pick);
+      }
+      if (!added) {
+        std::string fresh =
+            config.value_prefix + "_" + std::to_string(fresh_counter++);
+        ont.AddValue(sense, fresh);
+        used_values.push_back(fresh);
+      }
+    }
+  }
+  ont.MarkPristine();
+  return ont;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,39 @@
+// Synthetic ontology generation.
+//
+// Stands in for the paper's U.S. National Library of Medicine and WordNet
+// ontologies: produces a tree of concepts with per-sense synonym classes,
+// with controllable sense count, synonym-class size, and value overlap
+// across senses (overlap is what makes sense selection non-trivial).
+
+#ifndef FASTOFD_ONTOLOGY_GENERATOR_H_
+#define FASTOFD_ONTOLOGY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ontology/ontology.h"
+
+namespace fastofd {
+
+/// Knobs for GenerateOntology.
+struct OntologyGenConfig {
+  /// Number of senses (interpretations), the paper's |λ|.
+  int num_senses = 4;
+  /// Synonym-class size per sense.
+  int values_per_sense = 6;
+  /// Fraction of each sense's values drawn from previously used values
+  /// (creates the cross-sense ambiguity that sense selection must resolve).
+  double overlap = 0.25;
+  /// Number of is-a tree concepts; senses attach to random concepts.
+  int num_concepts = 8;
+  /// Prefix for generated value strings.
+  std::string value_prefix = "val";
+  uint64_t seed = 1;
+};
+
+/// Generates a random ontology per `config`. Deterministic in the seed.
+Ontology GenerateOntology(const OntologyGenConfig& config);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_ONTOLOGY_GENERATOR_H_

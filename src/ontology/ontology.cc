@@ -1,0 +1,257 @@
+#include "ontology/ontology.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+ConceptId Ontology::AddConcept(std::string name, ConceptId parent) {
+  FASTOFD_CHECK(concept_index_.count(name) == 0);
+  ConceptId id = static_cast<ConceptId>(concepts_.size());
+  Concept c;
+  c.name = std::move(name);
+  c.parent = parent;
+  if (parent != kInvalidConcept) {
+    FASTOFD_CHECK(parent >= 0 && parent < num_concepts());
+    concepts_[static_cast<size_t>(parent)].children.push_back(id);
+  }
+  concept_index_.emplace(c.name, id);
+  concepts_.push_back(std::move(c));
+  return id;
+}
+
+ConceptId Ontology::FindConcept(std::string_view name) const {
+  auto it = concept_index_.find(std::string(name));
+  return it == concept_index_.end() ? kInvalidConcept : it->second;
+}
+
+const std::string& Ontology::concept_name(ConceptId c) const {
+  FASTOFD_CHECK(c >= 0 && c < num_concepts());
+  return concepts_[static_cast<size_t>(c)].name;
+}
+
+ConceptId Ontology::parent(ConceptId c) const {
+  FASTOFD_CHECK(c >= 0 && c < num_concepts());
+  return concepts_[static_cast<size_t>(c)].parent;
+}
+
+const std::vector<ConceptId>& Ontology::children(ConceptId c) const {
+  FASTOFD_CHECK(c >= 0 && c < num_concepts());
+  return concepts_[static_cast<size_t>(c)].children;
+}
+
+SenseId Ontology::AddSense(std::string name, ConceptId concept_id) {
+  FASTOFD_CHECK(sense_index_.count(name) == 0);
+  SenseId id = static_cast<SenseId>(senses_.size());
+  Sense s;
+  s.name = std::move(name);
+  s.concept_id = concept_id;
+  sense_index_.emplace(s.name, id);
+  senses_.push_back(std::move(s));
+  return id;
+}
+
+SenseId Ontology::FindSense(std::string_view name) const {
+  auto it = sense_index_.find(std::string(name));
+  return it == sense_index_.end() ? kInvalidSense : it->second;
+}
+
+const std::string& Ontology::sense_name(SenseId s) const {
+  FASTOFD_CHECK(s >= 0 && s < num_senses());
+  return senses_[static_cast<size_t>(s)].name;
+}
+
+ConceptId Ontology::sense_concept(SenseId s) const {
+  FASTOFD_CHECK(s >= 0 && s < num_senses());
+  return senses_[static_cast<size_t>(s)].concept_id;
+}
+
+bool Ontology::AddValue(SenseId s, std::string_view value) {
+  FASTOFD_CHECK(s >= 0 && s < num_senses());
+  Sense& sense = senses_[static_cast<size_t>(s)];
+  std::string v(value);
+  if (!sense.value_set.insert(v).second) return false;
+  sense.values.push_back(v);
+  value_senses_[v].push_back(s);
+  ++num_added_values_;
+  return true;
+}
+
+const std::vector<std::string>& Ontology::SenseValues(SenseId s) const {
+  FASTOFD_CHECK(s >= 0 && s < num_senses());
+  return senses_[static_cast<size_t>(s)].values;
+}
+
+std::vector<SenseId> Ontology::NamesOf(std::string_view value) const {
+  auto it = value_senses_.find(std::string(value));
+  if (it == value_senses_.end()) return {};
+  return it->second;
+}
+
+bool Ontology::SenseContains(SenseId s, std::string_view value) const {
+  FASTOFD_CHECK(s >= 0 && s < num_senses());
+  return senses_[static_cast<size_t>(s)].value_set.count(std::string(value)) > 0;
+}
+
+bool Ontology::ContainsValue(std::string_view value) const {
+  return value_senses_.count(std::string(value)) > 0;
+}
+
+std::vector<std::string> Ontology::Descendants(ConceptId c) const {
+  FASTOFD_CHECK(c >= 0 && c < num_concepts());
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  std::vector<ConceptId> stack = {c};
+  while (!stack.empty()) {
+    ConceptId cur = stack.back();
+    stack.pop_back();
+    for (const Sense& s : senses_) {
+      if (s.concept_id != cur) continue;
+      for (const std::string& v : s.values) {
+        if (seen.insert(v).second) out.push_back(v);
+      }
+    }
+    for (ConceptId child : concepts_[static_cast<size_t>(cur)].children) {
+      stack.push_back(child);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return {};
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Splits "key=value" tokens after the entity name, e.g.
+// "sense FDA concept=drug : a | b".
+struct HeadParse {
+  std::string name;
+  std::string attr_key;
+  std::string attr_value;
+};
+
+HeadParse ParseHead(std::string_view head) {
+  HeadParse out;
+  std::istringstream in{std::string(head)};
+  std::string token;
+  in >> out.name;
+  while (in >> token) {
+    auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      out.attr_key = token.substr(0, eq);
+      out.attr_value = token.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Ontology> ParseOntology(std::string_view text) {
+  Ontology ont;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    ++line_no;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+
+    auto error = [line_no](const std::string& msg) {
+      return Status::Error("ontology parse error (line " + std::to_string(line_no) +
+                           "): " + msg);
+    };
+
+    if (line.rfind("concept ", 0) == 0) {
+      HeadParse head = ParseHead(line.substr(8));
+      if (head.name.empty()) return error("concept needs a name");
+      if (ont.FindConcept(head.name) != kInvalidConcept) {
+        return error("duplicate concept '" + head.name + "'");
+      }
+      ConceptId parent = kInvalidConcept;
+      if (head.attr_key == "parent") {
+        parent = ont.FindConcept(head.attr_value);
+        if (parent == kInvalidConcept) {
+          return error("unknown parent concept '" + head.attr_value + "'");
+        }
+      }
+      ont.AddConcept(head.name, parent);
+    } else if (line.rfind("sense ", 0) == 0) {
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) return error("sense needs ': values'");
+      HeadParse head = ParseHead(Trim(line.substr(6, colon - 6)));
+      if (head.name.empty()) return error("sense needs a name");
+      if (ont.FindSense(head.name) != kInvalidSense) {
+        return error("duplicate sense '" + head.name + "'");
+      }
+      ConceptId concept_id = kInvalidConcept;
+      if (head.attr_key == "concept") {
+        concept_id = ont.FindConcept(head.attr_value);
+        if (concept_id == kInvalidConcept) {
+          return error("unknown concept '" + head.attr_value + "'");
+        }
+      }
+      SenseId s = ont.AddSense(head.name, concept_id);
+      std::string_view values = line.substr(colon + 1);
+      size_t vpos = 0;
+      while (vpos <= values.size()) {
+        size_t bar = values.find('|', vpos);
+        std::string_view v = values.substr(
+            vpos, bar == std::string_view::npos ? values.size() - vpos : bar - vpos);
+        vpos = (bar == std::string_view::npos) ? values.size() + 1 : bar + 1;
+        v = Trim(v);
+        if (!v.empty()) ont.AddValue(s, v);
+      }
+    } else {
+      return error("unrecognized directive: " + std::string(line.substr(0, 20)));
+    }
+  }
+  ont.MarkPristine();
+  return ont;
+}
+
+Result<Ontology> ReadOntologyFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open ontology file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseOntology(buf.str());
+}
+
+std::string WriteOntology(const Ontology& ont) {
+  std::string out;
+  for (ConceptId c = 0; c < ont.num_concepts(); ++c) {
+    out += "concept " + ont.concept_name(c);
+    if (ont.parent(c) != kInvalidConcept) {
+      out += " parent=" + ont.concept_name(ont.parent(c));
+    }
+    out += "\n";
+  }
+  for (SenseId s = 0; s < ont.num_senses(); ++s) {
+    out += "sense " + ont.sense_name(s);
+    if (ont.sense_concept(s) != kInvalidConcept) {
+      out += " concept=" + ont.concept_name(ont.sense_concept(s));
+    }
+    out += " :";
+    bool first = true;
+    for (const std::string& v : ont.SenseValues(s)) {
+      out += first ? " " : " | ";
+      out += v;
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,142 @@
+// Tree-shaped, multi-sense ontology (paper §2, "Sense").
+//
+// An ontology S consists of concepts arranged in an is-a tree. Each concept
+// carries one synonym class per *sense* (interpretation): e.g. the concept
+// "diltiazem hydrochloride" has synonyms {cartia, tiazac} under the FDA sense
+// and {cartia, ASA} under the MoH sense. Following the paper's algorithms,
+// a sense λ is materialized as the set of values that are mutually synonymous
+// under that interpretation:
+//
+//   synonyms(E)   -> Ontology::SenseValues(sense)
+//   names(v)      -> Ontology::NamesOf(value)   (all senses containing v)
+//   descendants(E)-> Ontology::Descendants(concept)
+//
+// Ontology repair (paper §5) inserts new values into an existing sense;
+// Ontology::AddValue implements exactly that and dist(S, S') is the number
+// of insertions (num_added_values()).
+
+#ifndef FASTOFD_ONTOLOGY_ONTOLOGY_H_
+#define FASTOFD_ONTOLOGY_ONTOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fastofd {
+
+/// Identifier of a sense (an interpretation-scoped synonym class).
+using SenseId = int32_t;
+/// Identifier of a concept (a node of the is-a tree).
+using ConceptId = int32_t;
+
+inline constexpr SenseId kInvalidSense = -1;
+inline constexpr ConceptId kInvalidConcept = -1;
+
+/// A multi-sense ontology over string values.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  // ----- Concepts (is-a tree) ------------------------------------------
+
+  /// Adds a concept; parent = kInvalidConcept makes it a root.
+  ConceptId AddConcept(std::string name, ConceptId parent = kInvalidConcept);
+
+  /// Concept id by name, or kInvalidConcept.
+  ConceptId FindConcept(std::string_view name) const;
+
+  const std::string& concept_name(ConceptId c) const;
+  ConceptId parent(ConceptId c) const;
+  const std::vector<ConceptId>& children(ConceptId c) const;
+  int num_concepts() const { return static_cast<int>(concepts_.size()); }
+
+  // ----- Senses ----------------------------------------------------------
+
+  /// Adds a sense, optionally attached to a concept node.
+  SenseId AddSense(std::string name, ConceptId concept_id = kInvalidConcept);
+
+  /// Sense id by name, or kInvalidSense.
+  SenseId FindSense(std::string_view name) const;
+
+  const std::string& sense_name(SenseId s) const;
+  ConceptId sense_concept(SenseId s) const;
+  int num_senses() const { return static_cast<int>(senses_.size()); }
+
+  // ----- Values ------------------------------------------------------------
+
+  /// Inserts `value` into sense `s` (the paper's ontology-repair operation).
+  /// Idempotent; returns true if the value was newly added.
+  bool AddValue(SenseId s, std::string_view value);
+
+  /// Values synonymous under sense `s` — the paper's synonyms(E).
+  const std::vector<std::string>& SenseValues(SenseId s) const;
+
+  /// All senses containing `value` — the paper's names(v). Empty if the
+  /// value is unknown to the ontology.
+  std::vector<SenseId> NamesOf(std::string_view value) const;
+
+  /// True iff `value` appears in sense `s`.
+  bool SenseContains(SenseId s, std::string_view value) const;
+
+  /// True iff `value` appears in any sense.
+  bool ContainsValue(std::string_view value) const;
+
+  /// All values of senses attached to `c` or any descendant concept —
+  /// the paper's descendants(E).
+  std::vector<std::string> Descendants(ConceptId c) const;
+
+  /// Number of distinct values across all senses.
+  size_t num_values() const { return value_senses_.size(); }
+
+  /// Number of values inserted via AddValue after the last MarkPristine()
+  /// call — dist(S, S') for ontology repairs.
+  int64_t num_added_values() const { return num_added_values_; }
+
+  /// Resets the repair counter (call after initial construction).
+  void MarkPristine() { num_added_values_ = 0; }
+
+ private:
+  struct Concept {
+    std::string name;
+    ConceptId parent = kInvalidConcept;
+    std::vector<ConceptId> children;
+  };
+  struct Sense {
+    std::string name;
+    ConceptId concept_id = kInvalidConcept;
+    std::vector<std::string> values;
+    std::unordered_set<std::string> value_set;
+  };
+
+  std::vector<Concept> concepts_;
+  std::vector<Sense> senses_;
+  std::unordered_map<std::string, ConceptId> concept_index_;
+  std::unordered_map<std::string, SenseId> sense_index_;
+  // value -> senses containing it, in insertion order.
+  std::unordered_map<std::string, std::vector<SenseId>> value_senses_;
+  int64_t num_added_values_ = 0;
+};
+
+/// Parses the line-oriented ontology text format:
+///
+///   # comment
+///   concept <name> [parent=<name>]
+///   sense <name> [concept=<name>] : value1 | value2 | ...
+///
+/// Values are trimmed; '|' separates them (values may contain spaces).
+Result<Ontology> ParseOntology(std::string_view text);
+
+/// Reads and parses an ontology file.
+Result<Ontology> ReadOntologyFile(const std::string& path);
+
+/// Serializes an ontology back to the text format (round-trips ParseOntology).
+std::string WriteOntology(const Ontology& ontology);
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,51 @@
+#include "ontology/synonym_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+SynonymIndex::SynonymIndex(const Ontology& ontology, const Dictionary& dict) {
+  value_senses_.resize(dict.size());
+  sense_values_.resize(static_cast<size_t>(ontology.num_senses()));
+  for (SenseId s = 0; s < ontology.num_senses(); ++s) {
+    for (const std::string& value : ontology.SenseValues(s)) {
+      ValueId v = dict.Lookup(value);
+      if (v == kInvalidValue) continue;
+      value_senses_[static_cast<size_t>(v)].push_back(s);
+      sense_values_[static_cast<size_t>(s)].push_back(v);
+    }
+  }
+  for (auto& senses : value_senses_) std::sort(senses.begin(), senses.end());
+}
+
+bool SynonymIndex::SenseContains(SenseId s, ValueId v) const {
+  const std::vector<SenseId>& senses = Senses(v);
+  return std::binary_search(senses.begin(), senses.end(), s);
+}
+
+void SynonymIndex::AddValue(SenseId s, ValueId v) {
+  FASTOFD_CHECK(s >= 0 && static_cast<size_t>(s) < sense_values_.size());
+  FASTOFD_CHECK(v >= 0);
+  if (static_cast<size_t>(v) >= value_senses_.size()) {
+    value_senses_.resize(static_cast<size_t>(v) + 1);
+  }
+  auto& senses = value_senses_[static_cast<size_t>(v)];
+  auto it = std::lower_bound(senses.begin(), senses.end(), s);
+  if (it != senses.end() && *it == s) return;
+  senses.insert(it, s);
+  sense_values_[static_cast<size_t>(s)].push_back(v);
+}
+
+void SynonymIndex::RemoveValue(SenseId s, ValueId v) {
+  if (v < 0 || static_cast<size_t>(v) >= value_senses_.size()) return;
+  auto& senses = value_senses_[static_cast<size_t>(v)];
+  auto it = std::lower_bound(senses.begin(), senses.end(), s);
+  if (it == senses.end() || *it != s) return;
+  senses.erase(it);
+  auto& values = sense_values_[static_cast<size_t>(s)];
+  values.erase(std::find(values.begin(), values.end(), v));
+}
+
+}  // namespace fastofd

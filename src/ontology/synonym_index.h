@@ -1,0 +1,65 @@
+// SynonymIndex: the ontology compiled against a relation's dictionary.
+//
+// Discovery and cleaning touch names(v) for millions of cells; resolving
+// strings each time would dominate runtime. The index snapshots
+// ValueId -> sorted senses and SenseId -> interned values, realizing the
+// paper's assumption that "values in the ontology are indexed and can be
+// accessed in constant time".
+
+#ifndef FASTOFD_ONTOLOGY_SYNONYM_INDEX_H_
+#define FASTOFD_ONTOLOGY_SYNONYM_INDEX_H_
+
+#include <vector>
+
+#include "common/dictionary.h"
+#include "ontology/ontology.h"
+
+namespace fastofd {
+
+/// Immutable-by-default compiled view of an ontology over a dictionary.
+/// Rebuild (or apply AddValue) after repairing the ontology.
+class SynonymIndex {
+ public:
+  /// Compiles `ontology` against `dict`. Only values present in the
+  /// dictionary are indexed (others cannot occur in the relation).
+  SynonymIndex(const Ontology& ontology, const Dictionary& dict);
+
+  /// Senses containing the value, ascending — the paper's names(v).
+  /// Empty for values outside the ontology.
+  const std::vector<SenseId>& Senses(ValueId v) const {
+    static const std::vector<SenseId> kEmpty;
+    if (v < 0 || static_cast<size_t>(v) >= value_senses_.size()) return kEmpty;
+    return value_senses_[static_cast<size_t>(v)];
+  }
+
+  /// True iff the value appears in at least one sense.
+  bool InOntology(ValueId v) const { return !Senses(v).empty(); }
+
+  /// True iff sense `s` contains value `v`.
+  bool SenseContains(SenseId s, ValueId v) const;
+
+  /// Interned values of sense `s` (restricted to the dictionary).
+  const std::vector<ValueId>& SenseValues(SenseId s) const {
+    return sense_values_[static_cast<size_t>(s)];
+  }
+
+  int num_senses() const { return static_cast<int>(sense_values_.size()); }
+
+  /// Incrementally records that `v` now belongs to sense `s` (mirrors an
+  /// Ontology::AddValue repair without a full rebuild). Idempotent.
+  void AddValue(SenseId s, ValueId v);
+
+  /// Undoes AddValue(s, v) — used by the ontology-repair beam search to
+  /// explore candidate repairs without copying the index. No-op if absent.
+  void RemoveValue(SenseId s, ValueId v);
+
+ private:
+  // value id -> sorted senses containing it.
+  std::vector<std::vector<SenseId>> value_senses_;
+  // sense id -> interned member values.
+  std::vector<std::vector<ValueId>> sense_values_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_ONTOLOGY_SYNONYM_INDEX_H_

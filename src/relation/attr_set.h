@@ -1,0 +1,105 @@
+// AttrSet: a set of attribute indices packed into a 64-bit mask.
+//
+// The set-containment lattice that drives OFD/FD discovery manipulates huge
+// numbers of attribute sets; a bitmask gives O(1) subset tests, unions,
+// differences, and cheap hashing. Relations are limited to 64 attributes
+// (checked at load), far above the paper's 15-attribute datasets.
+
+#ifndef FASTOFD_RELATION_ATTR_SET_H_
+#define FASTOFD_RELATION_ATTR_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+/// Index of an attribute (column) within a schema.
+using AttrId = int;
+
+/// An immutable-by-convention set of attributes over a ≤64-column schema.
+class AttrSet {
+ public:
+  /// The empty set.
+  constexpr AttrSet() : mask_(0) {}
+
+  /// The set containing exactly `attr`.
+  static AttrSet Single(AttrId attr) {
+    FASTOFD_DCHECK(attr >= 0 && attr < 64);
+    return AttrSet(uint64_t{1} << attr);
+  }
+
+  /// The full set {0, ..., n_attrs-1}.
+  static AttrSet All(int n_attrs) {
+    FASTOFD_DCHECK(n_attrs >= 0 && n_attrs <= 64);
+    return AttrSet(n_attrs == 64 ? ~uint64_t{0} : (uint64_t{1} << n_attrs) - 1);
+  }
+
+  /// Constructs from a raw mask.
+  static constexpr AttrSet FromMask(uint64_t mask) { return AttrSet(mask); }
+
+  /// Constructs from a list of attribute ids.
+  static AttrSet Of(std::initializer_list<AttrId> attrs) {
+    AttrSet s;
+    for (AttrId a : attrs) s = s.With(a);
+    return s;
+  }
+
+  uint64_t mask() const { return mask_; }
+  bool empty() const { return mask_ == 0; }
+  int size() const { return std::popcount(mask_); }
+
+  bool Contains(AttrId attr) const { return (mask_ >> attr) & 1; }
+  bool ContainsAll(AttrSet other) const { return (mask_ & other.mask_) == other.mask_; }
+  bool IsSubsetOf(AttrSet other) const { return other.ContainsAll(*this); }
+  bool Intersects(AttrSet other) const { return (mask_ & other.mask_) != 0; }
+
+  AttrSet With(AttrId attr) const { return AttrSet(mask_ | (uint64_t{1} << attr)); }
+  AttrSet Without(AttrId attr) const { return AttrSet(mask_ & ~(uint64_t{1} << attr)); }
+  AttrSet Union(AttrSet other) const { return AttrSet(mask_ | other.mask_); }
+  AttrSet Intersect(AttrSet other) const { return AttrSet(mask_ & other.mask_); }
+  AttrSet Minus(AttrSet other) const { return AttrSet(mask_ & ~other.mask_); }
+
+  /// The lowest attribute id in the set; set must be non-empty.
+  AttrId First() const {
+    FASTOFD_DCHECK(!empty());
+    return std::countr_zero(mask_);
+  }
+
+  /// All member attribute ids in increasing order.
+  std::vector<AttrId> ToVector() const {
+    std::vector<AttrId> out;
+    out.reserve(static_cast<size_t>(size()));
+    for (uint64_t m = mask_; m != 0; m &= m - 1) {
+      out.push_back(std::countr_zero(m));
+    }
+    return out;
+  }
+
+  friend bool operator==(AttrSet a, AttrSet b) { return a.mask_ == b.mask_; }
+  friend bool operator!=(AttrSet a, AttrSet b) { return a.mask_ != b.mask_; }
+  friend bool operator<(AttrSet a, AttrSet b) { return a.mask_ < b.mask_; }
+
+ private:
+  explicit constexpr AttrSet(uint64_t mask) : mask_(mask) {}
+
+  uint64_t mask_;
+};
+
+/// Hash functor for unordered containers keyed by AttrSet.
+struct AttrSetHash {
+  size_t operator()(AttrSet s) const {
+    uint64_t x = s.mask();
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_RELATION_ATTR_SET_H_

@@ -1,0 +1,99 @@
+#include "relation/partition.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+StrippedPartition StrippedPartition::Build(const Relation& rel, AttrId attr) {
+  StrippedPartition p;
+  p.num_rows_ = rel.num_rows();
+  const std::vector<ValueId>& col = rel.Column(attr);
+  // Group rows by value id. Value ids are dense, so bucket directly.
+  std::vector<std::vector<RowId>> buckets(rel.dict().size());
+  for (RowId r = 0; r < rel.num_rows(); ++r) {
+    buckets[static_cast<size_t>(col[static_cast<size_t>(r)])].push_back(r);
+  }
+  for (auto& bucket : buckets) {
+    if (bucket.size() >= 2) {
+      p.sum_sizes_ += static_cast<int64_t>(bucket.size());
+      p.classes_.push_back(std::move(bucket));
+    }
+  }
+  return p;
+}
+
+StrippedPartition StrippedPartition::BuildForSet(const Relation& rel, AttrSet attrs) {
+  if (attrs.empty()) {
+    StrippedPartition p;
+    p.num_rows_ = rel.num_rows();
+    if (rel.num_rows() >= 2) {
+      std::vector<RowId> all(static_cast<size_t>(rel.num_rows()));
+      for (RowId r = 0; r < rel.num_rows(); ++r) all[static_cast<size_t>(r)] = r;
+      p.sum_sizes_ = rel.num_rows();
+      p.classes_.push_back(std::move(all));
+    }
+    return p;
+  }
+  std::vector<AttrId> attr_list = attrs.ToVector();
+  StrippedPartition p = Build(rel, attr_list[0]);
+  for (size_t i = 1; i < attr_list.size(); ++i) {
+    p = Product(p, Build(rel, attr_list[i]));
+  }
+  return p;
+}
+
+StrippedPartition StrippedPartition::Product(const StrippedPartition& a,
+                                             const StrippedPartition& b) {
+  FASTOFD_CHECK(a.num_rows_ == b.num_rows_);
+  StrippedPartition out;
+  out.num_rows_ = a.num_rows_;
+
+  // probe[r] = index of r's class in `a`, or -1 if r is a singleton in a.
+  std::vector<int32_t> probe(static_cast<size_t>(a.num_rows_), -1);
+  for (size_t ci = 0; ci < a.classes_.size(); ++ci) {
+    for (RowId r : a.classes_[ci]) probe[static_cast<size_t>(r)] = static_cast<int32_t>(ci);
+  }
+
+  std::vector<std::vector<RowId>> scratch(a.classes_.size());
+  std::vector<int32_t> touched;
+  for (const auto& cls_b : b.classes_) {
+    touched.clear();
+    for (RowId r : cls_b) {
+      int32_t ci = probe[static_cast<size_t>(r)];
+      if (ci < 0) continue;
+      if (scratch[static_cast<size_t>(ci)].empty()) touched.push_back(ci);
+      scratch[static_cast<size_t>(ci)].push_back(r);
+    }
+    for (int32_t ci : touched) {
+      auto& group = scratch[static_cast<size_t>(ci)];
+      if (group.size() >= 2) {
+        out.sum_sizes_ += static_cast<int64_t>(group.size());
+        out.classes_.push_back(std::move(group));
+        group = {};
+      } else {
+        group.clear();
+      }
+    }
+  }
+  return out;
+}
+
+const StrippedPartition& PartitionCache::Get(AttrSet attrs) {
+  auto it = cache_.find(attrs);
+  if (it != cache_.end()) return it->second;
+  StrippedPartition p;
+  if (attrs.size() <= 1) {
+    p = StrippedPartition::BuildForSet(rel_, attrs);
+  } else {
+    AttrId first = attrs.First();
+    const StrippedPartition& rest = Get(attrs.Without(first));
+    // Note: Get() may rehash cache_, so re-fetch nothing after this point.
+    StrippedPartition single = StrippedPartition::Build(rel_, first);
+    p = StrippedPartition::Product(rest, single);
+  }
+  return cache_.emplace(attrs, std::move(p)).first->second;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,103 @@
+// Stripped-partition algebra (TANE-style).
+//
+// A partition Π_X groups tuples with equal X-values into equivalence
+// classes; the *stripped* partition Π*_X drops singleton classes, which can
+// never violate an FD or OFD (paper Lemma 3.8 / Opt-4 context). Products of
+// stripped partitions are computed with the linear probe-table algorithm, so
+// level-wise lattice search costs O(rows) per candidate.
+
+#ifndef FASTOFD_RELATION_PARTITION_H_
+#define FASTOFD_RELATION_PARTITION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/attr_set.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// A stripped partition: equivalence classes of size >= 2 over some
+/// attribute set, plus the statistics discovery algorithms need.
+class StrippedPartition {
+ public:
+  /// Builds the stripped partition for a single attribute.
+  static StrippedPartition Build(const Relation& rel, AttrId attr);
+
+  /// Builds the stripped partition for an attribute set by folding products.
+  /// For an empty set, returns the single all-rows class (if rows >= 2).
+  static StrippedPartition BuildForSet(const Relation& rel, AttrSet attrs);
+
+  /// Product Π*_X · Π*_Y via the TANE probe-table algorithm (linear in the
+  /// stripped sizes of the operands).
+  static StrippedPartition Product(const StrippedPartition& a,
+                                   const StrippedPartition& b);
+
+  /// The stripped partition of a superkey: no classes at all.
+  static StrippedPartition Empty(int64_t num_rows) {
+    StrippedPartition p;
+    p.num_rows_ = num_rows;
+    return p;
+  }
+
+  /// Equivalence classes (row ids, ascending within a class); all sizes >= 2.
+  const std::vector<std::vector<RowId>>& classes() const { return classes_; }
+
+  /// Number of non-singleton classes, |Π*|.
+  int64_t num_classes() const { return static_cast<int64_t>(classes_.size()); }
+
+  /// Sum of class sizes, ||Π*||.
+  int64_t sum_sizes() const { return sum_sizes_; }
+
+  /// Total rows in the underlying relation.
+  int64_t num_rows() const { return num_rows_; }
+
+  /// TANE error e(X) = ||Π*|| - |Π*|: the minimum number of tuples to remove
+  /// to make X a (super)key. 0 iff X is a superkey.
+  int64_t error() const { return sum_sizes_ - num_classes(); }
+
+  /// Cardinality of the *full* partition |Π_X| (counting singletons).
+  int64_t full_num_classes() const {
+    return num_classes() + (num_rows_ - sum_sizes_);
+  }
+
+  /// True iff X is a superkey (no class of size >= 2 remains).
+  bool IsSuperkey() const { return classes_.empty(); }
+
+ private:
+  std::vector<std::vector<RowId>> classes_;
+  int64_t sum_sizes_ = 0;
+  int64_t num_rows_ = 0;
+};
+
+/// True iff the FD X -> A holds, given Π*_X and Π*_{X ∪ A}.
+/// (TANE: the FD holds iff both partitions have equal error.)
+inline bool FdHolds(const StrippedPartition& x, const StrippedPartition& xa) {
+  return x.error() == xa.error();
+}
+
+/// Memoizing store of stripped partitions keyed by attribute set.
+///
+/// Intended for the cleaning / verification paths that revisit a modest
+/// number of attribute sets; the discovery algorithms manage their own
+/// two-level working set instead. Unbounded; call Clear() between phases.
+class PartitionCache {
+ public:
+  explicit PartitionCache(const Relation& rel) : rel_(rel) {}
+
+  /// Returns the stripped partition for `attrs`, computing (and caching)
+  /// it and any missing prefixes on demand.
+  const StrippedPartition& Get(AttrSet attrs);
+
+  void Clear() { cache_.clear(); }
+  size_t size() const { return cache_.size(); }
+
+ private:
+  const Relation& rel_;
+  std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> cache_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_RELATION_PARTITION_H_

@@ -1,0 +1,84 @@
+#include "relation/relation.h"
+
+#include "common/check.h"
+
+namespace fastofd {
+
+Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(static_cast<size_t>(schema_.num_attrs()));
+}
+
+Result<Relation> Relation::FromCsv(const CsvTable& table) {
+  if (table.header.empty()) return Status::Error("CSV table has no header");
+  return FromRows(Schema(table.header), table.rows);
+}
+
+Result<Relation> Relation::FromRows(Schema schema,
+                                    const std::vector<std::vector<std::string>>& rows) {
+  if (schema.num_attrs() == 0) return Status::Error("schema has no attributes");
+  if (schema.num_attrs() > 64) return Status::Error("more than 64 attributes");
+  Relation rel(std::move(schema));
+  for (const auto& row : rows) {
+    if (static_cast<int>(row.size()) != rel.num_attrs()) {
+      return Status::Error("row arity mismatch");
+    }
+    rel.AppendRow(row);
+  }
+  return rel;
+}
+
+void Relation::AppendRow(const std::vector<std::string>& cells) {
+  FASTOFD_CHECK(static_cast<int>(cells.size()) == num_attrs());
+  for (int a = 0; a < num_attrs(); ++a) {
+    columns_[static_cast<size_t>(a)].push_back(dict_.Intern(cells[static_cast<size_t>(a)]));
+  }
+  ++num_rows_;
+}
+
+void Relation::AppendRowIds(const std::vector<ValueId>& cells) {
+  FASTOFD_CHECK(static_cast<int>(cells.size()) == num_attrs());
+  for (int a = 0; a < num_attrs(); ++a) {
+    ValueId v = cells[static_cast<size_t>(a)];
+    FASTOFD_DCHECK(v >= 0 && static_cast<size_t>(v) < dict_.size());
+    columns_[static_cast<size_t>(a)].push_back(v);
+  }
+  ++num_rows_;
+}
+
+void Relation::Set(RowId row, AttrId attr, std::string_view value) {
+  SetId(row, attr, dict_.Intern(value));
+}
+
+void Relation::SetId(RowId row, AttrId attr, ValueId value) {
+  FASTOFD_CHECK(row >= 0 && row < num_rows_);
+  FASTOFD_CHECK(attr >= 0 && attr < num_attrs());
+  columns_[static_cast<size_t>(attr)][static_cast<size_t>(row)] = value;
+}
+
+int64_t Relation::CellDistance(const Relation& other) const {
+  FASTOFD_CHECK(num_rows_ == other.num_rows_);
+  FASTOFD_CHECK(num_attrs() == other.num_attrs());
+  int64_t diff = 0;
+  for (int a = 0; a < num_attrs(); ++a) {
+    for (RowId r = 0; r < num_rows_; ++r) {
+      // Compare by string: the two relations may have distinct dictionaries.
+      if (StringAt(r, a) != other.StringAt(r, a)) ++diff;
+    }
+  }
+  return diff;
+}
+
+CsvTable Relation::ToCsv() const {
+  CsvTable table;
+  table.header = schema_.names();
+  table.rows.reserve(static_cast<size_t>(num_rows_));
+  for (RowId r = 0; r < num_rows_; ++r) {
+    std::vector<std::string> row;
+    row.reserve(static_cast<size_t>(num_attrs()));
+    for (int a = 0; a < num_attrs(); ++a) row.push_back(StringAt(r, a));
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace fastofd

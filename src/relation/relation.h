@@ -1,0 +1,91 @@
+// Columnar, dictionary-coded relation instance.
+//
+// All cell values are interned into a single per-relation Dictionary so that
+// (a) partition algebra runs on dense integers, and (b) the ontology can be
+// compiled once into a ValueId -> senses index shared by every column.
+
+#ifndef FASTOFD_RELATION_RELATION_H_
+#define FASTOFD_RELATION_RELATION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "relation/schema.h"
+
+namespace fastofd {
+
+/// Index of a tuple (row) within a relation.
+using RowId = int32_t;
+
+/// An in-memory relation instance: schema + dictionary-coded columns.
+class Relation {
+ public:
+  /// Creates an empty relation over the empty schema (useful as a default
+  /// member before real construction).
+  Relation() : Relation(Schema()) {}
+
+  /// Creates an empty relation over `schema`.
+  explicit Relation(Schema schema);
+
+  /// Builds a relation from a parsed CSV table (header becomes the schema).
+  static Result<Relation> FromCsv(const CsvTable& table);
+
+  /// Builds a relation from rows of strings with an explicit schema.
+  static Result<Relation> FromRows(Schema schema,
+                                   const std::vector<std::vector<std::string>>& rows);
+
+  const Schema& schema() const { return schema_; }
+  const Dictionary& dict() const { return dict_; }
+  Dictionary& mutable_dict() { return dict_; }
+
+  int num_attrs() const { return schema_.num_attrs(); }
+  RowId num_rows() const { return num_rows_; }
+
+  /// Appends a tuple given as strings; must match the schema arity.
+  void AppendRow(const std::vector<std::string>& cells);
+
+  /// Appends a tuple of already-interned values.
+  void AppendRowIds(const std::vector<ValueId>& cells);
+
+  /// Value id at (row, attr).
+  ValueId At(RowId row, AttrId attr) const {
+    return columns_[static_cast<size_t>(attr)][static_cast<size_t>(row)];
+  }
+
+  /// String value at (row, attr).
+  const std::string& StringAt(RowId row, AttrId attr) const {
+    return dict_.String(At(row, attr));
+  }
+
+  /// Overwrites a single cell with a (possibly new) string value.
+  void Set(RowId row, AttrId attr, std::string_view value);
+
+  /// Overwrites a single cell with an interned value id.
+  void SetId(RowId row, AttrId attr, ValueId value);
+
+  /// Whole column, dictionary-coded.
+  const std::vector<ValueId>& Column(AttrId attr) const {
+    return columns_[static_cast<size_t>(attr)];
+  }
+
+  /// Number of cells in which this relation differs from `other`.
+  /// Schemas and row counts must match. This is the paper's dist(I, I').
+  int64_t CellDistance(const Relation& other) const;
+
+  /// Exports to a CSV table (for examples and round-trip tests).
+  CsvTable ToCsv() const;
+
+ private:
+  Schema schema_;
+  Dictionary dict_;
+  std::vector<std::vector<ValueId>> columns_;
+  RowId num_rows_ = 0;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_RELATION_RELATION_H_

@@ -1,0 +1,36 @@
+#include "relation/schema.h"
+
+#include "common/check.h"
+
+namespace fastofd {
+
+Schema::Schema(std::vector<std::string> names) : names_(std::move(names)) {
+  FASTOFD_CHECK(names_.size() <= 64);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    index_.emplace(names_[i], static_cast<AttrId>(i));
+  }
+}
+
+const std::string& Schema::name(AttrId attr) const {
+  FASTOFD_CHECK(attr >= 0 && attr < num_attrs());
+  return names_[static_cast<size_t>(attr)];
+}
+
+AttrId Schema::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::string Schema::Render(AttrSet attrs) const {
+  std::string out = "[";
+  bool first = true;
+  for (AttrId a : attrs.ToVector()) {
+    if (!first) out += ",";
+    out += name(a);
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace fastofd

@@ -1,0 +1,38 @@
+// Relation schema: ordered, named attributes.
+
+#ifndef FASTOFD_RELATION_SCHEMA_H_
+#define FASTOFD_RELATION_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/attr_set.h"
+
+namespace fastofd {
+
+/// Named attributes of a relation, at most 64 (AttrSet limit).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names);
+
+  int num_attrs() const { return static_cast<int>(names_.size()); }
+  const std::string& name(AttrId attr) const;
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Attribute id for a name, or -1 if absent.
+  AttrId Find(std::string_view name) const;
+
+  /// Human-readable rendering of an attribute set, e.g. "[SYMP,DIAG]".
+  std::string Render(AttrSet attrs) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_RELATION_SCHEMA_H_

@@ -1,0 +1,468 @@
+// Tests for the OFDClean stack: EMD, sense assignment, data/ontology
+// repair, the end-to-end driver on the paper's running example, and the
+// HoloCleanLite baseline.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clean/emd.h"
+#include "clean/holoclean_lite.h"
+#include "clean/repair.h"
+#include "clean/sense_assignment.h"
+#include "datagen/datagen.h"
+#include "ofd/verifier.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EMD.
+
+TEST(EmdTest, IdenticalHistogramsHaveZeroDistance) {
+  ValueHistogram p = {{1, 3}, {2, 5}};
+  EXPECT_DOUBLE_EQ(CategoricalEmd(p, p), 0.0);
+}
+
+TEST(EmdTest, CategoricalKnownValues) {
+  // p = {a:3}, q = {b:3}: move 3 units -> EMD 3.
+  EXPECT_DOUBLE_EQ(CategoricalEmd({{1, 3}}, {{2, 3}}), 3.0);
+  // p = {a:2, b:1}, q = {a:1, b:2}: move 1 unit.
+  EXPECT_DOUBLE_EQ(CategoricalEmd({{1, 2}, {2, 1}}, {{1, 1}, {2, 2}}), 1.0);
+}
+
+TEST(EmdTest, CategoricalIsSymmetric) {
+  ValueHistogram p = {{1, 4}, {2, 1}, {3, 2}};
+  ValueHistogram q = {{1, 1}, {4, 6}};
+  EXPECT_DOUBLE_EQ(CategoricalEmd(p, q), CategoricalEmd(q, p));
+}
+
+TEST(EmdTest, UnequalMassChargesSurplus) {
+  // p has 5 units, q has 2 on the same bin: 3 surplus moves.
+  EXPECT_DOUBLE_EQ(CategoricalEmd({{1, 5}}, {{1, 2}}), 3.0);
+}
+
+TEST(EmdTest, OrderedPrefixSumFormula) {
+  // p = [1,0,0], q = [0,0,1]: one unit moved two bins -> 2.
+  EXPECT_DOUBLE_EQ(OrderedEmd({1, 0, 0}, {0, 0, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(OrderedEmd({2, 2}, {2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(OrderedEmd({0, 4}, {4, 0}), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures.
+
+// Table 1 with updated (dirty) MED values and the merged ontology.
+struct CleanFixture {
+  Relation rel;
+  Ontology ontology;
+
+  static CleanFixture Make() {
+    auto csv = ReadCsvFile(std::string(FASTOFD_DATA_DIR) + "/clinical_trials.csv");
+    EXPECT_TRUE(csv.ok());
+    CsvTable table = csv.value();
+    table.header.erase(table.header.begin());
+    for (auto& row : table.rows) row.erase(row.begin());
+    auto rel = Relation::FromCsv(table);
+    EXPECT_TRUE(rel.ok());
+    std::string dir(FASTOFD_DATA_DIR);
+    auto merged = ParseOntology(
+        WriteOntology(ReadOntologyFile(dir + "/drug_ontology.txt").value()) +
+        WriteOntology(ReadOntologyFile(dir + "/country_ontology.txt").value()));
+    EXPECT_TRUE(merged.ok());
+    return CleanFixture{std::move(rel).value(), std::move(merged).value()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Initial sense assignment (Algorithm 5).
+
+TEST(SenseAssignmentTest, PicksSenseWithMaxCoverage) {
+  Relation rel(Schema({"X", "MED"}));
+  // Class of 5 tuples: 3 covered by sense A only, 2 by sense B only.
+  Ontology ont;
+  SenseId sa = ont.AddSense("A");
+  SenseId sb = ont.AddSense("B");
+  ont.AddValue(sa, "a1");
+  ont.AddValue(sa, "a2");
+  ont.AddValue(sb, "b1");
+  rel.AppendRow({"x", "a1"});
+  rel.AppendRow({"x", "a1"});
+  rel.AppendRow({"x", "a2"});
+  rel.AppendRow({"x", "b1"});
+  rel.AppendRow({"x", "b1"});
+  SynonymIndex index(ont, rel.dict());
+  SenseId got = SenseSelector::InitialAssignment(rel, index, {0, 1, 2, 3, 4}, 1);
+  EXPECT_EQ(got, sa);  // Covers 3 tuples vs 2.
+}
+
+TEST(SenseAssignmentTest, PrefersSenseCoveringMoreDistinctTopValues) {
+  Relation rel(Schema({"X", "MED"}));
+  Ontology ont;
+  SenseId sa = ont.AddSense("A");
+  SenseId sb = ont.AddSense("B");
+  // Sense A covers both frequent values; B covers one frequent + one rare.
+  ont.AddValue(sa, "v1");
+  ont.AddValue(sa, "v2");
+  ont.AddValue(sb, "v1");
+  ont.AddValue(sb, "rare");
+  for (int i = 0; i < 4; ++i) rel.AppendRow({"x", "v1"});
+  for (int i = 0; i < 3; ++i) rel.AppendRow({"x", "v2"});
+  rel.AppendRow({"x", "rare"});
+  SynonymIndex index(ont, rel.dict());
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < rel.num_rows(); ++r) rows.push_back(r);
+  EXPECT_EQ(SenseSelector::InitialAssignment(rel, index, rows, 1), sa);
+}
+
+TEST(SenseAssignmentTest, AllValuesOutsideOntologyGivesInvalidSense) {
+  Relation rel(Schema({"X", "MED"}));
+  rel.AppendRow({"x", "u1"});
+  rel.AppendRow({"x", "u2"});
+  Ontology empty;
+  SynonymIndex index(empty, rel.dict());
+  EXPECT_EQ(SenseSelector::InitialAssignment(rel, index, {0, 1}, 1), kInvalidSense);
+}
+
+TEST(SenseAssignmentTest, FallsBackWhenTopValueUncovered) {
+  Relation rel(Schema({"X", "MED"}));
+  Ontology ont;
+  SenseId s = ont.AddSense("S");
+  ont.AddValue(s, "known");
+  // 'mystery' is the most frequent value but unknown to the ontology.
+  rel.AppendRow({"x", "mystery"});
+  rel.AppendRow({"x", "mystery"});
+  rel.AppendRow({"x", "mystery"});
+  rel.AppendRow({"x", "known"});
+  SynonymIndex index(ont, rel.dict());
+  EXPECT_EQ(SenseSelector::InitialAssignment(rel, index, {0, 1, 2, 3}, 1), s);
+}
+
+TEST(SenseAssignmentTest, AccuracyHighOnCleanGeneratedData) {
+  DataGenConfig cfg;
+  cfg.num_rows = 500;
+  cfg.num_antecedents = 2;
+  cfg.num_consequents = 2;
+  cfg.num_senses = 4;
+  cfg.error_rate = 0.0;
+  cfg.seed = 7;
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  SenseSelector selector(data.rel, index, data.sigma);
+  SenseAssignmentResult result = selector.Run();
+
+  int64_t correct = 0, total = 0;
+  for (size_t i = 0; i < data.sigma.size(); ++i) {
+    const auto& classes = result.partitions[i].classes();
+    for (size_t c = 0; c < classes.size(); ++c) {
+      // Recover the class's antecedent value to look up the true sense.
+      AttrId lhs = data.sigma[i].lhs.First();
+      std::string key = std::to_string(i) + ":" +
+                        data.rel.StringAt(classes[c][0], lhs);
+      auto it = data.true_senses.find(key);
+      if (it == data.true_senses.end()) continue;
+      ++total;
+      SenseId assigned = result.senses[i][c];
+      if (assigned == it->second) {
+        ++correct;
+      } else if (assigned != kInvalidSense) {
+        // Also accept a sense that covers every tuple of the class (an
+        // equally valid interpretation due to sense overlap).
+        bool covers_all = true;
+        for (RowId r : classes[c]) {
+          covers_all &= index.SenseContains(assigned, data.rel.At(r, data.sigma[i].rhs));
+        }
+        if (covers_all) ++correct;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// Data repair.
+
+TEST(RepairDataTest, FixesSingleOutlierTuple) {
+  Relation rel(Schema({"X", "MED"}));
+  Ontology ont;
+  SenseId s = ont.AddSense("S");
+  ont.AddValue(s, "good1");
+  ont.AddValue(s, "good2");
+  rel.AppendRow({"x", "good1"});
+  rel.AppendRow({"x", "good1"});
+  rel.AppendRow({"x", "good2"});
+  rel.AppendRow({"x", "bad"});
+  SynonymIndex index(ont, rel.dict());
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  SenseSelector selector(rel, index, sigma);
+  SenseAssignmentResult assignment = selector.Run();
+  RepairResult result = RepairData(rel, index, sigma, assignment, 1000);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.data_changes, 1);
+  // The outlier was rewritten to the most frequent covered value.
+  EXPECT_EQ(result.repaired.StringAt(3, 1), "good1");
+  // Synonym variation among good1/good2 was NOT "repaired".
+  EXPECT_EQ(result.repaired.StringAt(2, 1), "good2");
+}
+
+TEST(RepairDataTest, MajorityRepairWithoutOntology) {
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"x", "a"});
+  rel.AppendRow({"x", "a"});
+  rel.AppendRow({"x", "b"});
+  Ontology empty;
+  SynonymIndex index(empty, rel.dict());
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  SenseSelector selector(rel, index, sigma);
+  SenseAssignmentResult assignment = selector.Run();
+  RepairResult result = RepairData(rel, index, sigma, assignment, 1000);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.data_changes, 1);
+  EXPECT_EQ(result.repaired.StringAt(2, 1), "a");
+}
+
+TEST(RepairDataTest, BudgetExhaustionFlagsInfeasible) {
+  Relation rel(Schema({"X", "Y"}));
+  for (int i = 0; i < 10; ++i) {
+    rel.AppendRow({"x", "v" + std::to_string(i)});
+  }
+  Ontology empty;
+  SynonymIndex index(empty, rel.dict());
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  SenseSelector selector(rel, index, sigma);
+  SenseAssignmentResult assignment = selector.Run();
+  RepairResult result = RepairData(rel, index, sigma, assignment, /*max_changes=*/2);
+  EXPECT_FALSE(result.tau_feasible);
+  EXPECT_FALSE(result.consistent);
+}
+
+TEST(RepairDataTest, CleanInstanceNeedsNoChanges) {
+  CleanFixture f = CleanFixture::Make();
+  // Restore the original (clean) MED values.
+  f.rel.Set(8, f.rel.schema().Find("MED"), "tiazac");
+  f.rel.Set(10, f.rel.schema().Find("MED"), "tiazac");
+  SynonymIndex index(f.ontology, f.rel.dict());
+  const Schema& s = f.rel.schema();
+  SigmaSet sigma = {
+      {AttrSet::Single(s.Find("CC")), s.Find("CTRY"), OfdKind::kSynonym},
+      {AttrSet::Of({s.Find("SYMP"), s.Find("DIAG")}), s.Find("MED"),
+       OfdKind::kSynonym}};
+  SenseSelector selector(f.rel, index, sigma);
+  SenseAssignmentResult assignment = selector.Run();
+  RepairResult result = RepairData(f.rel, index, sigma, assignment, 1000);
+  EXPECT_TRUE(result.consistent);
+  EXPECT_EQ(result.data_changes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// OFDClean end to end.
+
+TEST(OfdCleanTest, ResolvesPaperExample12) {
+  CleanFixture f = CleanFixture::Make();
+  const Schema& s = f.rel.schema();
+  SigmaSet sigma = {
+      {AttrSet::Single(s.Find("CC")), s.Find("CTRY"), OfdKind::kSynonym},
+      {AttrSet::Of({s.Find("SYMP"), s.Find("DIAG")}), s.Find("MED"),
+       OfdKind::kSynonym}};
+  OfdCleanConfig cfg;
+  cfg.beam_size = 3;
+  OfdClean cleaner(f.rel, f.ontology, sigma, cfg);
+  OfdCleanResult result = cleaner.Run();
+
+  // The headache class is interpreted under one sense (MoH or FDA); the two
+  // values outside that sense are the ontology-repair candidates (paper
+  // §7.1: values not in S *under the chosen sense* — e.g. {tiazac, adizem}
+  // under MoH, matching Table 5's ASA-under-FDA style candidates).
+  EXPECT_EQ(result.num_candidates, 2);
+  EXPECT_TRUE(result.best.consistent);
+  // The Pareto frontier offers the pure-data repair (k=0) and, if it saves
+  // data changes, the ontology-assisted repair (k=1).
+  ASSERT_FALSE(result.pareto.empty());
+  EXPECT_EQ(result.pareto.front().ontology_changes, 0);
+  for (size_t i = 1; i < result.pareto.size(); ++i) {
+    EXPECT_GT(result.pareto[i].ontology_changes,
+              result.pareto[i - 1].ontology_changes);
+    EXPECT_LT(result.pareto[i].data_changes, result.pareto[i - 1].data_changes);
+  }
+  // Repaired instance satisfies Σ w.r.t. the repaired ontology.
+  SynonymIndex repaired_index(f.ontology, f.rel.dict());
+  for (const OntologyAddition& add : result.best.ontology_additions) {
+    repaired_index.AddValue(add.sense, add.value);
+  }
+  OfdVerifier verifier(result.best.repaired, repaired_index);
+  for (const Ofd& ofd : sigma) {
+    EXPECT_TRUE(verifier.Holds(ofd));
+  }
+}
+
+TEST(OfdCleanTest, ReproducesTable5RepairStaircase) {
+  // Paper Tables 4/5: the four-tuple subset t8..t11 with t11[CTRY] updated
+  // to 'Uni. States'. Candidate ontology repairs trade off against data
+  // repairs one-for-one, producing the staircase Pareto frontier of
+  // Table 5: 0 insertions -> 3 data repairs, ... , 3 insertions -> 0.
+  Relation rel(Schema({"CC", "CTRY", "SYMP", "DIAG", "MED"}));
+  rel.AppendRow({"US", "USA", "headache", "hypertension", "cartia"});
+  rel.AppendRow({"US", "USA", "headache", "hypertension", "ASA"});
+  rel.AppendRow({"US", "America", "headache", "hypertension", "tiazac"});
+  rel.AppendRow({"US", "Uni. States", "headache", "hypertension", "adizem"});
+  std::string dir(FASTOFD_DATA_DIR);
+  Ontology ontology =
+      ParseOntology(
+          WriteOntology(ReadOntologyFile(dir + "/drug_ontology.txt").value()) +
+          WriteOntology(ReadOntologyFile(dir + "/country_ontology.txt").value()))
+          .value();
+  const Schema& s = rel.schema();
+  SigmaSet sigma = {
+      {AttrSet::Single(s.Find("CC")), s.Find("CTRY"), OfdKind::kSynonym},
+      {AttrSet::Of({s.Find("SYMP"), s.Find("DIAG")}), s.Find("MED"),
+       OfdKind::kSynonym}};
+  OfdCleanConfig cfg;
+  cfg.beam_size = 4;
+  OfdClean cleaner(rel, ontology, sigma, cfg);
+  OfdCleanResult result = cleaner.Run();
+
+  // Candidates: 'Uni. States' under the country sense, plus the two MED
+  // values outside the class's chosen drug sense.
+  EXPECT_EQ(result.num_candidates, 3);
+  // Staircase: each insertion saves exactly one data repair.
+  ASSERT_EQ(result.pareto.size(), 4u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(result.pareto[static_cast<size_t>(k)].ontology_changes, k);
+    EXPECT_EQ(result.pareto[static_cast<size_t>(k)].data_changes, 3 - k);
+  }
+  EXPECT_TRUE(result.best.consistent);
+}
+
+TEST(OfdCleanTest, CleanDataNeedsNoRepairs) {
+  DataGenConfig cfg;
+  cfg.num_rows = 200;
+  cfg.error_rate = 0.0;
+  cfg.seed = 3;
+  GeneratedData data = GenerateData(cfg);
+  OfdClean cleaner(data.rel, data.ontology, data.sigma);
+  OfdCleanResult result = cleaner.Run();
+  EXPECT_TRUE(result.best.consistent);
+  EXPECT_EQ(result.best.data_changes, 0);
+  EXPECT_TRUE(result.best.ontology_additions.empty());
+}
+
+TEST(OfdCleanTest, RepairsInjectedErrorsWithGoodAccuracy) {
+  DataGenConfig cfg;
+  cfg.num_rows = 400;
+  cfg.num_senses = 4;
+  cfg.error_rate = 0.05;
+  cfg.seed = 11;
+  GeneratedData data = GenerateData(cfg);
+  OfdClean cleaner(data.rel, data.ontology, data.sigma);
+  OfdCleanResult result = cleaner.Run();
+  EXPECT_TRUE(result.best.consistent);
+  RepairScore score = ScoreRepair(data, result.best.repaired);
+  EXPECT_GT(score.precision(), 0.6);
+  EXPECT_GT(score.recall(), 0.4);
+}
+
+TEST(OfdCleanTest, IncompletenessTriggersOntologyRepairs) {
+  DataGenConfig cfg;
+  cfg.num_rows = 300;
+  cfg.error_rate = 0.0;
+  cfg.incompleteness_rate = 0.15;
+  cfg.seed = 13;
+  GeneratedData data = GenerateData(cfg);
+  OfdCleanConfig ccfg;
+  ccfg.max_repair_size = 16;
+  OfdClean cleaner(data.rel, data.ontology, data.sigma, ccfg);
+  OfdCleanResult result = cleaner.Run();
+  EXPECT_GT(result.num_candidates, 0);
+  EXPECT_FALSE(result.best.ontology_additions.empty());
+  // Ontology repairs re-add removed values to correct senses: check that
+  // most additions target values the generator removed.
+  int64_t removed_hits = 0;
+  for (const OntologyAddition& add : result.best.ontology_additions) {
+    const std::string& v = data.rel.dict().String(add.value);
+    if (std::find(data.removed_values.begin(), data.removed_values.end(), v) !=
+        data.removed_values.end()) {
+      ++removed_hits;
+    }
+  }
+  EXPECT_GT(removed_hits, 0);
+}
+
+TEST(OfdCleanTest, RejectsOverlappingAntecedentConsequent) {
+  Relation rel(Schema({"A", "B", "C"}));
+  rel.AppendRow({"1", "2", "3"});
+  Ontology ont;
+  // B is consequent of the first OFD and antecedent of the second.
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym},
+                    {AttrSet::Single(1), 2, OfdKind::kSynonym}};
+  EXPECT_DEATH(OfdClean(rel, ont, sigma), "CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// HoloCleanLite.
+
+TEST(HoloCleanLiteTest, RepairsLowConfidenceCellToMajorityValue) {
+  Relation rel(Schema({"X", "Y"}));
+  for (int i = 0; i < 5; ++i) rel.AppendRow({"x", "a"});
+  rel.AppendRow({"x", "b"});
+  Ontology dict;
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  HoloCleanLiteResult result = HoloCleanLite(rel, dict, sigma);
+  EXPECT_EQ(result.cells_changed, 1);
+  EXPECT_EQ(result.repaired.StringAt(5, 1), "a");
+}
+
+TEST(HoloCleanLiteTest, ConfidenceMarginKeepsCompetitiveValues) {
+  // A near-balanced class is left alone: neither value dominates by the
+  // posterior margin (this is what keeps real HoloClean's precision up).
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"x", "a"});
+  rel.AppendRow({"x", "a"});
+  rel.AppendRow({"x", "b"});
+  Ontology dict;
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  HoloCleanLiteResult result = HoloCleanLite(rel, dict, sigma);
+  EXPECT_EQ(result.cells_changed, 0);
+  EXPECT_GT(result.cells_flagged, 0);
+}
+
+TEST(HoloCleanLiteTest, DictionaryBoostBreaksTies) {
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"x", "indict"});
+  rel.AppendRow({"x", "outdict"});
+  Ontology dict;
+  SenseId s = dict.AddSense("s");
+  dict.AddValue(s, "indict");
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  HoloCleanLiteConfig cfg;
+  cfg.repair_margin = 1.5;  // Low margin: let the dictionary signal decide.
+  HoloCleanLiteResult result = HoloCleanLite(rel, dict, sigma, cfg);
+  EXPECT_EQ(result.repaired.StringAt(1, 1), "indict");
+}
+
+TEST(HoloCleanLiteTest, FlagsSynonymVariationAsErrors) {
+  // The defining difference vs OFDClean: on a *clean* instance whose classes
+  // contain synonyms, HoloCleanLite makes (false-positive) changes while
+  // OFDClean changes nothing.
+  DataGenConfig cfg;
+  cfg.num_rows = 300;
+  cfg.error_rate = 0.0;
+  cfg.seed = 17;
+  GeneratedData data = GenerateData(cfg);
+  HoloCleanLiteResult hc = HoloCleanLite(data.rel, data.ontology, data.sigma);
+  EXPECT_GT(hc.cells_changed, 0);
+  RepairScore hc_score = ScoreRepair(data, hc.repaired);
+  EXPECT_LT(hc_score.precision(), 0.5);  // All changes are false positives.
+
+  OfdClean cleaner(data.rel, data.ontology, data.sigma);
+  OfdCleanResult oc = cleaner.Run();
+  EXPECT_EQ(oc.best.data_changes, 0);
+}
+
+}  // namespace
+}  // namespace fastofd

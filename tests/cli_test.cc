@@ -1,0 +1,89 @@
+// Integration tests for the fastofd command-line tool: gen -> discover ->
+// verify -> clean round trips through real files and process exits.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fastofd {
+namespace {
+
+std::string TempDir() {
+  const char* t = std::getenv("TMPDIR");
+  std::string dir = (t ? t : "/tmp");
+  dir += "/fastofd_cli_test";
+  std::string cmd = "mkdir -p " + dir;
+  EXPECT_EQ(std::system(cmd.c_str()), 0);
+  return dir;
+}
+
+int RunCli(const std::string& args, std::string* output = nullptr) {
+  std::string out_file = TempDir() + "/out.txt";
+  std::string cmd = std::string(FASTOFD_CLI_BIN) + " " + args + " > " + out_file +
+                    " 2>/dev/null";
+  int rc = std::system(cmd.c_str());
+  if (output) {
+    std::ifstream in(out_file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *output = buf.str();
+  }
+  return WEXITSTATUS(rc);
+}
+
+TEST(CliTest, UsageOnNoCommand) {
+  EXPECT_EQ(RunCli(""), 2);
+  EXPECT_EQ(RunCli("bogus"), 2);
+}
+
+TEST(CliTest, GenDiscoverVerifyCleanPipeline) {
+  std::string dir = TempDir();
+  std::string data = dir + "/d.csv";
+  std::string ont = dir + "/o.txt";
+  std::string sigma = dir + "/s.txt";
+
+  // gen: deterministic instance with errors + incompleteness.
+  ASSERT_EQ(RunCli("gen --rows 300 --err 0.05 --inc 0.1 --seed 5 --out " + data +
+                " --ontology-out " + ont + " --sigma-out " + sigma),
+            0);
+
+  // discover: finds OFDs on the dirty data (approximate, kappa 0.9).
+  std::string discovered = dir + "/discovered.txt";
+  std::string out;
+  ASSERT_EQ(RunCli("discover --data " + data + " --ontology " + ont +
+                " --kappa 0.9 --out " + discovered, &out),
+            0);
+  std::ifstream check(discovered);
+  EXPECT_TRUE(check.good());
+
+  // verify: the planted sigma is violated on the dirty instance (exit 3).
+  EXPECT_EQ(RunCli("verify --data " + data + " --ontology " + ont + " --sigma " +
+                sigma, &out),
+            3);
+  EXPECT_NE(out.find("VIOLATED"), std::string::npos);
+
+  // clean: produces a consistent repair; verify passes afterwards (exit 0).
+  std::string repaired = dir + "/repaired.csv";
+  std::string repaired_ont = dir + "/repaired_o.txt";
+  ASSERT_EQ(RunCli("clean --data " + data + " --ontology " + ont + " --sigma " +
+                sigma + " --out " + repaired + " --ontology-out " + repaired_ont,
+                &out),
+            0);
+  EXPECT_NE(out.find("consistent"), std::string::npos);
+  EXPECT_EQ(RunCli("verify --data " + repaired + " --ontology " + repaired_ont +
+                " --sigma " + sigma, &out),
+            0);
+  EXPECT_EQ(out.find("VIOLATED"), std::string::npos);
+}
+
+TEST(CliTest, MissingInputsFail) {
+  EXPECT_EQ(RunCli("discover"), 1);
+  EXPECT_EQ(RunCli("verify --data /nonexistent.csv --ontology /nonexistent.txt"), 1);
+}
+
+}  // namespace
+}  // namespace fastofd

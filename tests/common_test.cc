@@ -1,0 +1,207 @@
+// Unit tests for the common substrate: rng, csv, dictionary, flags, status.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/dictionary.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fastofd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextUintInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint(17), 17u);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(17);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(19);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.NextZipf(50, 1.2)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 2000);
+  for (const auto& [rank, _] : counts) EXPECT_LT(rank, 50u);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformSupport) {
+  Rng rng(23);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 5000; ++i) counts[rng.NextZipf(10, 0.0)]++;
+  EXPECT_EQ(counts.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    ASSERT_EQ(sample.size(), k);
+    std::set<size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (size_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  ValueId a = d.Intern("alpha");
+  ValueId b = d.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alpha"), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupMissReturnsInvalid) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup("nope"), kInvalidValue);
+  d.Intern("yes");
+  EXPECT_EQ(d.Lookup("yes"), 0);
+}
+
+TEST(DictionaryTest, StringRoundTrip) {
+  Dictionary d;
+  std::vector<std::string> words = {"a", "bb", "ccc", ""};
+  for (const auto& w : words) d.Intern(w);
+  for (const auto& w : words) EXPECT_EQ(d.String(d.Lookup(w)), w);
+}
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto result = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(result.ok());
+  const CsvTable& t = result.value();
+  EXPECT_EQ(t.header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto result = ParseCsv("x,y\n\"hello, world\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][0], "hello, world");
+  EXPECT_EQ(result.value().rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, HandlesCrlfAndBlankLines) {
+  auto result = ParseCsv("a,b\r\n1,2\r\n\n3,4\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 2u);
+  EXPECT_EQ(result.value().rows[1][0], "3");
+}
+
+TEST(CsvTest, ArityMismatchIsError) {
+  auto result = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  auto result = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, RoundTripsThroughWriter) {
+  CsvTable t;
+  t.header = {"name", "note"};
+  t.rows = {{"x,y", "line\nbreak"}, {"plain", "quote\"inside"}};
+  auto result = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().header, t.header);
+  EXPECT_EQ(result.value().rows, t.rows);
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  auto result = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().header.empty());
+  EXPECT_EQ(result.value().rows.size(), 2u);
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status e = Status::Error("boom");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.message(), "boom");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  Result<int> err(Status::Error("bad"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().message(), "bad");
+}
+
+TEST(FlagsTest, ParsesForms) {
+  const char* argv[] = {"prog", "--rows=100", "--err", "0.5", "--verbose",
+                        "--no-cache", "pos1"};
+  Flags f = Flags::Parse(7, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetInt("rows", 0), 100);
+  EXPECT_DOUBLE_EQ(f.GetDouble("err", 0.0), 0.5);
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_FALSE(f.GetBool("cache", true));
+  EXPECT_EQ(f.GetString("missing", "def"), "def");
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+}
+
+}  // namespace
+}  // namespace fastofd

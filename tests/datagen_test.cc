@@ -1,0 +1,152 @@
+// Tests for the synthetic dataset generator and ground-truth scoring.
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "ofd/verifier.h"
+#include "ontology/synonym_index.h"
+
+namespace fastofd {
+namespace {
+
+DataGenConfig SmallConfig() {
+  DataGenConfig cfg;
+  cfg.num_rows = 300;
+  cfg.num_antecedents = 2;
+  cfg.num_consequents = 2;
+  cfg.num_senses = 4;
+  cfg.values_per_sense = 5;
+  cfg.classes_per_antecedent = 6;
+  cfg.error_rate = 0.05;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(DataGenTest, ShapeMatchesConfig) {
+  DataGenConfig cfg = SmallConfig();
+  cfg.num_noise_attrs = 3;
+  GeneratedData data = GenerateData(cfg);
+  EXPECT_EQ(data.rel.num_rows(), 300);
+  EXPECT_EQ(data.rel.num_attrs(), 2 + 2 + 3);
+  EXPECT_EQ(data.ontology.num_senses(), 4);
+  EXPECT_EQ(data.sigma.size(), 2u);
+  EXPECT_EQ(data.clean_rel.num_rows(), data.rel.num_rows());
+}
+
+TEST(DataGenTest, DeterministicInSeed) {
+  GeneratedData a = GenerateData(SmallConfig());
+  GeneratedData b = GenerateData(SmallConfig());
+  EXPECT_EQ(a.rel.CellDistance(b.rel), 0);
+  EXPECT_EQ(a.errors.size(), b.errors.size());
+}
+
+TEST(DataGenTest, PlantedOfdsHoldOnCleanData) {
+  DataGenConfig cfg = SmallConfig();
+  cfg.error_rate = 0.0;
+  GeneratedData data = GenerateData(cfg);
+  EXPECT_TRUE(data.errors.empty());
+  EXPECT_EQ(data.rel.CellDistance(data.clean_rel), 0);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  OfdVerifier verifier(data.rel, index);
+  for (const Ofd& ofd : data.sigma) {
+    EXPECT_TRUE(verifier.Holds(ofd));
+  }
+}
+
+TEST(DataGenTest, ErrorInjectionMatchesBookkeeping) {
+  GeneratedData data = GenerateData(SmallConfig());
+  EXPECT_GT(data.errors.size(), 0u);
+  // Every recorded error is visible as a dirty/clean mismatch.
+  for (const InjectedError& e : data.errors) {
+    EXPECT_EQ(data.rel.StringAt(e.row, e.attr), e.dirty);
+    EXPECT_EQ(data.clean_rel.StringAt(e.row, e.attr), e.original);
+    EXPECT_NE(e.dirty, e.original);
+  }
+  // And there are no unrecorded differences.
+  EXPECT_EQ(data.rel.CellDistance(data.clean_rel),
+            static_cast<int64_t>(data.errors.size()));
+  // Error rate roughly honored (5% of 600 consequent cells ≈ 30).
+  EXPECT_NEAR(static_cast<double>(data.errors.size()), 30.0, 20.0);
+}
+
+TEST(DataGenTest, ErrorsCanBreakPlantedOfds) {
+  DataGenConfig cfg = SmallConfig();
+  cfg.error_rate = 0.15;
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  OfdVerifier verifier(data.rel, index);
+  bool any_broken = false;
+  for (const Ofd& ofd : data.sigma) any_broken |= !verifier.Holds(ofd);
+  EXPECT_TRUE(any_broken);
+}
+
+TEST(DataGenTest, IncompletenessRemovesUsedValues) {
+  DataGenConfig cfg = SmallConfig();
+  cfg.error_rate = 0.0;
+  cfg.incompleteness_rate = 0.3;
+  GeneratedData data = GenerateData(cfg);
+  EXPECT_GT(data.removed_values.size(), 0u);
+  for (const std::string& v : data.removed_values) {
+    EXPECT_FALSE(data.ontology.ContainsValue(v));
+  }
+  // Removed values still occur in the data (they are repair candidates).
+  std::set<std::string> in_data;
+  for (RowId r = 0; r < data.rel.num_rows(); ++r) {
+    for (int a = 0; a < data.rel.num_attrs(); ++a) {
+      in_data.insert(data.rel.StringAt(r, a));
+    }
+  }
+  for (const std::string& v : data.removed_values) {
+    EXPECT_TRUE(in_data.count(v)) << v;
+  }
+}
+
+TEST(DataGenTest, TrueSensesRecordedPerClass) {
+  GeneratedData data = GenerateData(SmallConfig());
+  EXPECT_GT(data.true_senses.size(), 0u);
+  for (const auto& [key, sense] : data.true_senses) {
+    EXPECT_GE(sense, 0);
+    EXPECT_LT(sense, data.ontology.num_senses());
+    (void)key;
+  }
+}
+
+TEST(ScoreRepairTest, PerfectRepairScoresOne) {
+  GeneratedData data = GenerateData(SmallConfig());
+  RepairScore score = ScoreRepair(data, data.clean_rel);
+  EXPECT_EQ(score.total_errors, static_cast<int64_t>(data.errors.size()));
+  EXPECT_EQ(score.correct_changes, score.total_changes);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+}
+
+TEST(ScoreRepairTest, NoRepairScoresZeroRecall) {
+  GeneratedData data = GenerateData(SmallConfig());
+  RepairScore score = ScoreRepair(data, data.rel);
+  EXPECT_EQ(score.total_changes, 0);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);  // Vacuous precision.
+  EXPECT_DOUBLE_EQ(score.recall(), 0.0);
+}
+
+TEST(ScoreRepairTest, WrongChangesHurtPrecision) {
+  GeneratedData data = GenerateData(SmallConfig());
+  Relation bad = data.rel;
+  // Change three clean cells to garbage.
+  int changed = 0;
+  for (RowId r = 0; r < bad.num_rows() && changed < 3; ++r) {
+    if (data.rel.StringAt(r, 2) == data.clean_rel.StringAt(r, 2)) {
+      bad.Set(r, 2, "garbage");
+      ++changed;
+    }
+  }
+  RepairScore score = ScoreRepair(data, bad);
+  EXPECT_EQ(score.total_changes, 3);
+  EXPECT_EQ(score.correct_changes, 0);
+  EXPECT_DOUBLE_EQ(score.precision(), 0.0);
+}
+
+}  // namespace
+}  // namespace fastofd

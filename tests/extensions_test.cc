@@ -1,0 +1,242 @@
+// Tests for the extension modules: LHS-synonym OFDs, incremental
+// verification, and parallel discovery determinism.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "ofd/incremental.h"
+#include "ofd/lhs_synonym.h"
+#include "ofd/verifier.h"
+#include "ontology/generator.h"
+#include "ontology/synonym_index.h"
+
+namespace fastofd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LHS-synonym OFDs (response letter W2).
+
+TEST(LhsSynonymTest, MergedClassesCatchHiddenViolations) {
+  // Literal classes {Cartia}, {Tiazac} are clean per class; under the FDA
+  // sense they merge, exposing that the merged class maps to two different
+  // diseases with no common sense.
+  Relation rel(Schema({"MED", "DISEASE"}));
+  rel.AppendRow({"Cartia", "hyperpiesis"});
+  rel.AppendRow({"Cartia", "hyperpiesis"});
+  rel.AppendRow({"Tiazac", "flu"});
+  rel.AppendRow({"Tiazac", "flu"});
+  Ontology ont;
+  SenseId fda = ont.AddSense("fda");
+  ont.AddValue(fda, "Cartia");
+  ont.AddValue(fda, "Tiazac");
+  SynonymIndex index(ont, rel.dict());
+  Ofd ofd{AttrSet::Single(0), 1, OfdKind::kSynonym};
+  // The plain OFD holds (each literal class has one value)…
+  OfdVerifier verifier(rel, index);
+  EXPECT_TRUE(verifier.Holds(ofd));
+  // …but the LHS-synonym reading does not.
+  EXPECT_FALSE(HoldsWithLhsSynonyms(rel, index, ofd));
+}
+
+TEST(LhsSynonymTest, HoldsWhenMergedClassesShareASense) {
+  Relation rel(Schema({"MED", "DISEASE"}));
+  rel.AppendRow({"Cartia", "hypertension"});
+  rel.AppendRow({"Tiazac", "HHD"});
+  Ontology ont;
+  SenseId fda = ont.AddSense("fda");
+  ont.AddValue(fda, "Cartia");
+  ont.AddValue(fda, "Tiazac");
+  SenseId disease = ont.AddSense("disease");
+  ont.AddValue(disease, "hypertension");
+  ont.AddValue(disease, "HHD");
+  SynonymIndex index(ont, rel.dict());
+  Ofd ofd{AttrSet::Single(0), 1, OfdKind::kSynonym};
+  EXPECT_TRUE(HoldsWithLhsSynonyms(rel, index, ofd));
+}
+
+TEST(LhsSynonymTest, ImpliesPlainOfd) {
+  // LHS-synonym satisfaction is strictly stronger: sweep random instances.
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(7000 + seed);
+    OntologyGenConfig ocfg;
+    ocfg.num_senses = 3;
+    ocfg.values_per_sense = 4;
+    ocfg.overlap = 0.4;
+    ocfg.seed = static_cast<uint64_t>(9000 + seed);
+    Ontology ont = GenerateOntology(ocfg);
+    Relation rel(Schema({"X", "Y"}));
+    for (int r = 0; r < 30; ++r) {
+      SenseId sx = static_cast<SenseId>(rng.NextUint(3));
+      SenseId sy = static_cast<SenseId>(rng.NextUint(3));
+      rel.AppendRow({ont.SenseValues(sx)[rng.NextUint(4)],
+                     ont.SenseValues(sy)[rng.NextUint(4)]});
+    }
+    SynonymIndex index(ont, rel.dict());
+    OfdVerifier verifier(rel, index);
+    Ofd ofd{AttrSet::Single(0), 1, OfdKind::kSynonym};
+    if (HoldsWithLhsSynonyms(rel, index, ofd)) {
+      EXPECT_TRUE(verifier.Holds(ofd)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(LhsSynonymTest, StatsCountInterpretationsAndClasses) {
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"a", "1"});
+  rel.AppendRow({"a", "1"});
+  rel.AppendRow({"b", "1"});
+  Ontology ont;
+  SenseId s = ont.AddSense("s");
+  ont.AddValue(s, "a");
+  ont.AddValue(s, "b");
+  SynonymIndex index(ont, rel.dict());
+  LhsSynonymStats stats;
+  EXPECT_TRUE(HoldsWithLhsSynonyms(rel, index, {AttrSet::Single(0), 1,
+                                                OfdKind::kSynonym},
+                                   &stats));
+  EXPECT_EQ(stats.interpretations, 2);  // literal + one sense
+  // Literal: one non-singleton class {a,a}; sense s: merged {a,a,b}.
+  EXPECT_EQ(stats.classes_evaluated, 2);
+}
+
+TEST(LhsSynonymTest, NoOntologyDegeneratesToPlainOfd) {
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"a", "1"});
+  rel.AppendRow({"a", "2"});
+  Ontology empty;
+  SynonymIndex index(empty, rel.dict());
+  Ofd ofd{AttrSet::Single(0), 1, OfdKind::kSynonym};
+  OfdVerifier verifier(rel, index);
+  EXPECT_EQ(HoldsWithLhsSynonyms(rel, index, ofd), verifier.Holds(ofd));
+}
+
+// ---------------------------------------------------------------------------
+// Incremental verification.
+
+TEST(IncrementalTest, TracksSingleClassUpdates) {
+  Relation rel(Schema({"X", "MED"}));
+  Ontology ont;
+  SenseId s = ont.AddSense("s");
+  ont.AddValue(s, "g1");
+  ont.AddValue(s, "g2");
+  rel.AppendRow({"x", "g1"});
+  rel.AppendRow({"x", "g2"});
+  rel.AppendRow({"y", "g1"});
+  rel.AppendRow({"y", "g1"});
+  SynonymIndex index(ont, rel.dict());
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  IncrementalVerifier inc(&rel, index, sigma);
+  EXPECT_TRUE(inc.IsConsistent());
+
+  // Break class y.
+  ValueId bad = rel.mutable_dict().Intern("bad");
+  inc.UpdateCell(2, 1, bad);
+  EXPECT_FALSE(inc.IsConsistent());
+  EXPECT_EQ(inc.violating_classes(0), 1);
+
+  // Fix it again.
+  inc.UpdateCell(2, 1, rel.dict().Lookup("g1"));
+  EXPECT_TRUE(inc.IsConsistent());
+}
+
+TEST(IncrementalTest, MatchesFullReverificationOnRandomUpdateStreams) {
+  for (int seed = 0; seed < 6; ++seed) {
+    DataGenConfig cfg;
+    cfg.num_rows = 120;
+    cfg.num_senses = 3;
+    cfg.error_rate = 0.0;
+    cfg.seed = static_cast<uint64_t>(7100 + seed);
+    GeneratedData data = GenerateData(cfg);
+    Relation rel = data.rel;
+    SynonymIndex index(data.ontology, rel.dict());
+    IncrementalVerifier inc(&rel, index, data.sigma);
+    Rng rng(7200 + static_cast<uint64_t>(seed));
+
+    std::vector<ValueId> pool;
+    for (SenseId s = 0; s < index.num_senses(); ++s) {
+      for (ValueId v : index.SenseValues(s)) pool.push_back(v);
+    }
+    pool.push_back(rel.mutable_dict().Intern("garbage"));
+
+    for (int step = 0; step < 40; ++step) {
+      RowId row = static_cast<RowId>(rng.NextUint(rel.num_rows()));
+      const Ofd& ofd = data.sigma[rng.NextUint(data.sigma.size())];
+      ValueId v = pool[rng.NextUint(pool.size())];
+      inc.UpdateCell(row, ofd.rhs, v);
+
+      // Full reverification as ground truth.
+      OfdVerifier verifier(rel, index);
+      bool all = true;
+      for (size_t i = 0; i < data.sigma.size(); ++i) {
+        bool holds = verifier.Holds(data.sigma[i]);
+        all &= holds;
+        EXPECT_EQ(inc.Holds(i), holds) << "seed " << seed << " step " << step;
+      }
+      EXPECT_EQ(inc.IsConsistent(), all);
+    }
+  }
+}
+
+TEST(IncrementalTest, RechecksOnlyAffectedClasses) {
+  DataGenConfig cfg;
+  cfg.num_rows = 500;
+  cfg.classes_per_antecedent = 25;
+  cfg.error_rate = 0.0;
+  cfg.seed = 7300;
+  GeneratedData data = GenerateData(cfg);
+  Relation rel = data.rel;
+  SynonymIndex index(data.ontology, rel.dict());
+  IncrementalVerifier inc(&rel, index, data.sigma);
+  int64_t initial = inc.classes_rechecked();
+  ValueId v = rel.At(0, data.sigma[0].rhs);
+  inc.UpdateCell(0, data.sigma[0].rhs, v);
+  // One update touches at most one class per OFD with this consequent.
+  EXPECT_LE(inc.classes_rechecked() - initial, 1);
+}
+
+TEST(IncrementalTest, RejectsOverlappingSigma) {
+  Relation rel(Schema({"A", "B", "C"}));
+  rel.AppendRow({"1", "2", "3"});
+  Ontology ont;
+  SynonymIndex index(ont, rel.dict());
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym},
+                    {AttrSet::Single(1), 2, OfdKind::kSynonym}};
+  EXPECT_DEATH(IncrementalVerifier(&rel, index, sigma), "CHECK failed");
+}
+
+// ---------------------------------------------------------------------------
+// Parallel discovery.
+
+TEST(ParallelDiscoveryTest, OutputIdenticalAcrossThreadCounts) {
+  for (int seed = 0; seed < 4; ++seed) {
+    DataGenConfig cfg;
+    cfg.num_rows = 600;
+    cfg.num_antecedents = 3;
+    cfg.num_consequents = 3;
+    cfg.num_noise_attrs = 2;
+    cfg.error_rate = 0.02;
+    cfg.seed = static_cast<uint64_t>(7400 + seed);
+    GeneratedData data = GenerateData(cfg);
+    SynonymIndex index(data.ontology, data.rel.dict());
+
+    FastOfdConfig serial;
+    serial.num_threads = 1;
+    FastOfdResult a = FastOfd(data.rel, index, serial).Discover();
+    for (int threads : {2, 4, 8}) {
+      FastOfdConfig parallel;
+      parallel.num_threads = threads;
+      FastOfdResult b = FastOfd(data.rel, index, parallel).Discover();
+      EXPECT_EQ(a.ofds, b.ofds) << "threads " << threads << " seed " << seed;
+      EXPECT_EQ(a.candidates_checked, b.candidates_checked);
+      EXPECT_EQ(a.values_scanned, b.values_scanned);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastofd

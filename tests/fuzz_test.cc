@@ -1,0 +1,76 @@
+// Robustness ("fuzz-ish") tests: the text parsers must reject or accept —
+// never crash on — arbitrary byte soup, and accepted inputs must round-trip.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "ofd/sigma_io.h"
+#include "ontology/ontology.h"
+#include "relation/schema.h"
+
+namespace fastofd {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len, const std::string& alphabet) {
+  size_t len = rng->NextUint(max_len);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[rng->NextUint(alphabet.size())]);
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, CsvParserNeverCrashes) {
+  Rng rng(8800 + GetParam());
+  const std::string alphabet = "abc,\"\n\r \t|=#->{}0123456789";
+  for (int i = 0; i < 200; ++i) {
+    std::string input = RandomBytes(&rng, 120, alphabet);
+    auto result = ParseCsv(input);
+    if (result.ok()) {
+      // Accepted input round-trips through the writer.
+      auto again = ParseCsv(WriteCsv(result.value()),
+                            !result.value().header.empty());
+      EXPECT_TRUE(again.ok());
+    }
+  }
+}
+
+TEST_P(FuzzTest, OntologyParserNeverCrashes) {
+  Rng rng(8900 + GetParam());
+  const std::string alphabet = "absdconceptparent=|: \t\n#_";
+  for (int i = 0; i < 200; ++i) {
+    std::string input = RandomBytes(&rng, 150, alphabet);
+    auto result = ParseOntology(input);
+    if (result.ok()) {
+      auto again = ParseOntology(WriteOntology(result.value()));
+      EXPECT_TRUE(again.ok());
+      EXPECT_EQ(again.value().num_senses(), result.value().num_senses());
+    }
+  }
+}
+
+TEST_P(FuzzTest, SigmaParserNeverCrashes) {
+  Rng rng(9000 + GetParam());
+  Schema schema({"A", "B", "C"});
+  const std::string alphabet = "ABC,-> inh syn{}\n# \t";
+  for (int i = 0; i < 200; ++i) {
+    std::string input = RandomBytes(&rng, 80, alphabet);
+    auto result = ParseSigma(input, schema);
+    if (result.ok()) {
+      auto again = ParseSigma(WriteSigma(result.value(), schema), schema);
+      EXPECT_TRUE(again.ok());
+      EXPECT_EQ(again.value(), result.value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace fastofd

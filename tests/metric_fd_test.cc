@@ -1,0 +1,125 @@
+// Tests for the Metric FD comparison class (paper §2, "Relationship to
+// other dependencies") and the dataset flavour wrappers.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "ofd/metric_fd.h"
+#include "ofd/verifier.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(EditDistance("IBM", "IBM Inc."), 5);
+  EXPECT_EQ(EditDistance("USA", "America"), 7);
+}
+
+TEST(EditDistanceTest, MetricAxiomsOnSamples) {
+  const char* words[] = {"cartia", "tiazac", "carta", "", "tylenol"};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      int dab = EditDistance(a, b);
+      EXPECT_EQ(dab, EditDistance(b, a));              // symmetry
+      EXPECT_EQ(dab == 0, std::string(a) == b);        // identity
+      for (const char* c : words) {                    // triangle
+        EXPECT_LE(EditDistance(a, c), dab + EditDistance(b, c));
+      }
+    }
+  }
+}
+
+TEST(MetricFdTest, DeltaZeroIsTraditionalFd) {
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"a", "v"});
+  rel.AppendRow({"a", "v"});
+  EXPECT_TRUE(MetricFdHolds(rel, AttrSet::Of({0}), 1, 0));
+  rel.AppendRow({"a", "w"});
+  EXPECT_FALSE(MetricFdHolds(rel, AttrSet::Of({0}), 1, 0));
+  EXPECT_TRUE(MetricFdHolds(rel, AttrSet::Of({0}), 1, 1));  // v ~ w at δ=1
+}
+
+TEST(MetricFdTest, CapturesSmallVariationButNotSynonyms) {
+  // The paper's point: MFDs accept "IBM"/"IBM Inc."-style variation but
+  // still flag true synonyms like USA/America.
+  Relation rel(Schema({"CC", "CTRY"}));
+  rel.AppendRow({"US", "USA"});
+  rel.AppendRow({"US", "America"});
+  Ontology ont;
+  SenseId s = ont.AddSense("iso");
+  ont.AddValue(s, "USA");
+  ont.AddValue(s, "America");
+  SynonymIndex index(ont, rel.dict());
+  OfdVerifier verifier(rel, index);
+  Ofd ofd{AttrSet::Of({0}), 1, OfdKind::kSynonym};
+  EXPECT_TRUE(verifier.Holds(ofd));                       // OFD: clean
+  EXPECT_FALSE(MetricFdHolds(rel, ofd.lhs, ofd.rhs, 3));  // MFD: flagged
+
+  // Small-typo case: MFD accepts, OFD (no ontology entry) rejects.
+  Relation rel2(Schema({"CC", "CTRY"}));
+  rel2.AppendRow({"US", "USA"});
+  rel2.AppendRow({"US", "USAA"});
+  SynonymIndex index2(ont, rel2.dict());
+  OfdVerifier verifier2(rel2, index2);
+  EXPECT_TRUE(MetricFdHolds(rel2, ofd.lhs, ofd.rhs, 1));
+  EXPECT_FALSE(verifier2.Holds(ofd));
+}
+
+TEST(MetricFdTest, ComparisonCountsFalsePositives) {
+  DataGenConfig cfg;
+  cfg.num_rows = 400;
+  cfg.num_senses = 4;
+  cfg.error_rate = 0.0;
+  cfg.seed = 77;
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  MetricComparison strict =
+      CompareMetricVsOfd(data.rel, index, data.sigma[0], /*delta=*/0);
+  EXPECT_GT(strict.tuples, 0);
+  // Clean synonym data: the OFD flags nothing, a strict MFD (δ=0 == FD)
+  // flags every non-majority synonym tuple — all false positives.
+  EXPECT_EQ(strict.ofd_flagged, 0);
+  EXPECT_GT(strict.mfd_flagged, 0);
+  EXPECT_EQ(strict.mfd_only, strict.mfd_flagged);
+  // Loosening δ can only reduce MFD flags.
+  MetricComparison loose =
+      CompareMetricVsOfd(data.rel, index, data.sigma[0], /*delta=*/4);
+  EXPECT_LE(loose.mfd_flagged, strict.mfd_flagged);
+}
+
+TEST(DatasetFlavourTest, ClinicalAndKivaRenameSchemas) {
+  DataGenConfig cfg;
+  cfg.num_rows = 50;
+  cfg.num_antecedents = 2;
+  cfg.num_consequents = 2;
+  cfg.num_noise_attrs = 1;
+  cfg.num_key_attrs = 1;
+  cfg.seed = 5;
+  GeneratedData clinical = GenerateClinical(cfg);
+  EXPECT_EQ(clinical.rel.schema().name(0), "CC");
+  EXPECT_EQ(clinical.rel.schema().name(2), "CTRY");
+  EXPECT_EQ(clinical.rel.schema().name(5), "NCTID");
+  GeneratedData kiva = GenerateKiva(cfg);
+  EXPECT_EQ(kiva.rel.schema().name(1), "SECTOR");
+  EXPECT_EQ(kiva.rel.schema().name(5), "LOAN_ID");
+  // Data identical to the generic generator (values unchanged).
+  GeneratedData generic = GenerateData(cfg);
+  EXPECT_EQ(generic.rel.CellDistance(clinical.rel), 0);
+  EXPECT_EQ(generic.rel.CellDistance(kiva.rel), 0);
+  // Ground truth still consistent.
+  EXPECT_EQ(clinical.rel.CellDistance(clinical.clean_rel),
+            static_cast<int64_t>(clinical.errors.size()));
+}
+
+}  // namespace
+}  // namespace fastofd

@@ -1,0 +1,222 @@
+// Tests for OFD axiomatic inference: closure (Algorithm 1), implication,
+// and minimal covers (Definition 3.7).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ofd/inference.h"
+#include "ofd/ofd.h"
+#include "relation/schema.h"
+
+namespace fastofd {
+namespace {
+
+// Attribute aliases for readability: A=0, B=1, C=2, D=3, E=4.
+constexpr AttrId A = 0, B = 1, C = 2, D = 3, E = 4;
+
+Dependency Dep(std::initializer_list<AttrId> lhs, std::initializer_list<AttrId> rhs) {
+  return {AttrSet::Of(lhs), AttrSet::Of(rhs)};
+}
+
+TEST(ClosureTest, NoTransitivity) {
+  // OFDs have no Transitivity axiom (paper §3.1): with A->B and B->C,
+  // closure(A) = {A,B} — C is NOT derivable.
+  std::vector<Dependency> sigma = {Dep({A}, {B}), Dep({B}, {C})};
+  EXPECT_EQ(Closure(AttrSet::Of({A}), sigma), AttrSet::Of({A, B}));
+  EXPECT_EQ(Closure(AttrSet::Of({B}), sigma), AttrSet::Of({B, C}));
+  EXPECT_EQ(Closure(AttrSet::Of({C}), sigma), AttrSet::Of({C}));
+  // The FD closure, by contrast, is transitive.
+  EXPECT_EQ(FdClosure(AttrSet::Of({A}), sigma), AttrSet::Of({A, B, C}));
+}
+
+TEST(ClosureTest, MultiAttributeAntecedents) {
+  // AB->C, C->D, AD->E: only AB->C fires from {A,B} (C ⊄ {A,B}).
+  std::vector<Dependency> sigma = {Dep({A, B}, {C}), Dep({C}, {D}), Dep({A, D}, {E})};
+  EXPECT_EQ(Closure(AttrSet::Of({A, B}), sigma), AttrSet::Of({A, B, C}));
+  EXPECT_EQ(Closure(AttrSet::Of({A}), sigma), AttrSet::Of({A}));
+  EXPECT_EQ(Closure(AttrSet::Of({C}), sigma), AttrSet::Of({C, D}));
+  EXPECT_EQ(Closure(AttrSet::Of({A, B, D}), sigma), AttrSet::Of({A, B, C, D, E}));
+  // Under FD axioms the chain completes.
+  EXPECT_EQ(FdClosure(AttrSet::Of({A, B}), sigma), AttrSet::Of({A, B, C, D, E}));
+}
+
+TEST(ClosureTest, ClosureIsNotIdempotentWithoutTransitivity) {
+  // closure(closure(A)) may exceed closure(A): this is exactly the
+  // non-transitivity of OFD derivation.
+  std::vector<Dependency> sigma = {Dep({A}, {B}), Dep({B}, {C})};
+  AttrSet once = Closure(AttrSet::Of({A}), sigma);
+  AttrSet twice = Closure(once, sigma);
+  EXPECT_EQ(once, AttrSet::Of({A, B}));
+  EXPECT_EQ(twice, AttrSet::Of({A, B, C}));
+}
+
+TEST(ClosureTest, EmptyLhsDependency) {
+  // {} -> A means A is in every closure.
+  std::vector<Dependency> sigma = {Dep({}, {A}), Dep({A, B}, {C})};
+  EXPECT_EQ(Closure(AttrSet(), sigma), AttrSet::Of({A}));
+  // {A,B} -> C does not fire from {B}: A is derived, not contained in X.
+  EXPECT_EQ(Closure(AttrSet::Of({B}), sigma), AttrSet::Of({A, B}));
+  // Under transitive FD closure it does fire.
+  EXPECT_EQ(FdClosure(AttrSet::Of({B}), sigma), AttrSet::Of({A, B, C}));
+}
+
+TEST(ClosureTest, EmptySigma) {
+  EXPECT_EQ(Closure(AttrSet::Of({A, C}), {}), AttrSet::Of({A, C}));
+}
+
+class ClosureRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosureRandomTest, LinearClosureAgreesWithNaiveFixpoint) {
+  Rng rng(500 + GetParam());
+  const int n_attrs = 8;
+  std::vector<Dependency> sigma;
+  int n_deps = static_cast<int>(rng.NextUint(12)) + 1;
+  for (int i = 0; i < n_deps; ++i) {
+    AttrSet lhs, rhs;
+    for (int a = 0; a < n_attrs; ++a) {
+      if (rng.NextBernoulli(0.25)) lhs = lhs.With(a);
+      if (rng.NextBernoulli(0.25)) rhs = rhs.With(a);
+    }
+    sigma.push_back({lhs, rhs});
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    AttrSet x;
+    for (int a = 0; a < n_attrs; ++a) {
+      if (rng.NextBernoulli(0.3)) x = x.With(a);
+    }
+    EXPECT_EQ(Closure(x, sigma), ClosureNaive(x, sigma));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureRandomTest, ::testing::Range(0, 15));
+
+TEST(ClosureTest, ClosureIsExtensiveAndMonotone) {
+  Rng rng(77);
+  std::vector<Dependency> sigma = {Dep({A}, {B}), Dep({B, C}, {D}), Dep({D}, {E})};
+  for (int trial = 0; trial < 30; ++trial) {
+    AttrSet x;
+    for (int a = 0; a < 5; ++a) {
+      if (rng.NextBernoulli(0.4)) x = x.With(a);
+    }
+    AttrSet cx = Closure(x, sigma);
+    EXPECT_TRUE(cx.ContainsAll(x));  // extensive
+    // Monotone: a superset input yields a superset closure.
+    AttrSet y = x.With(static_cast<AttrId>(rng.NextUint(5)));
+    EXPECT_TRUE(Closure(y, sigma).ContainsAll(cx));
+    // The FD closure always dominates the OFD closure.
+    EXPECT_TRUE(FdClosure(x, sigma).ContainsAll(cx));
+  }
+}
+
+TEST(ImplicationTest, FollowsFromClosure) {
+  std::vector<Dependency> sigma = {Dep({A}, {B}), Dep({B}, {C})};
+  // No transitivity: A -> C is not OFD-implied (but is FD-implied).
+  EXPECT_FALSE(Implies(sigma, AttrSet::Of({A}), AttrSet::Of({C})));
+  EXPECT_TRUE(Implies(sigma, AttrSet::Of({A}), AttrSet::Of({B})));
+  EXPECT_TRUE(Implies(sigma, AttrSet::Of({A, B}), AttrSet::Of({B, C})));
+  EXPECT_FALSE(Implies(sigma, AttrSet::Of({C}), AttrSet::Of({A})));
+  // Reflexivity (O1 + O2): X -> subset of X always.
+  EXPECT_TRUE(Implies({}, AttrSet::Of({A, B}), AttrSet::Of({A})));
+}
+
+TEST(ImplicationTest, CompositionAxiom) {
+  // O3: X->Y and Z->W imply XZ->YW.
+  std::vector<Dependency> sigma = {Dep({A}, {B}), Dep({C}, {D})};
+  EXPECT_TRUE(Implies(sigma, AttrSet::Of({A, C}), AttrSet::Of({B, D})));
+}
+
+TEST(ImplicationTest, OfdVsFdImplication) {
+  SigmaSet sigma = {{AttrSet::Of({A}), B, OfdKind::kSynonym},
+                    {AttrSet::Of({B}), C, OfdKind::kSynonym}};
+  Ofd transitive{AttrSet::Of({A}), C, OfdKind::kSynonym};
+  EXPECT_FALSE(ImpliesOfd(sigma, transitive));  // No OFD transitivity.
+  EXPECT_TRUE(ImpliesFd(sigma, transitive));    // FDs are transitive.
+  EXPECT_FALSE(ImpliesOfd(sigma, {AttrSet::Of({C}), A, OfdKind::kSynonym}));
+  // Augmentation still works for OFDs: AB -> B trivially, A -> B given.
+  EXPECT_TRUE(ImpliesOfd(sigma, {AttrSet::Of({A, C}), B, OfdKind::kSynonym}));
+}
+
+TEST(MinimalCoverTest, PaperExample38) {
+  // Σ1: CC -> CTRY; Σ2: {CC,DIAG} -> MED; Σ3: {CC,DIAG} -> {MED, CTRY}.
+  // Σ3 follows from Σ1 and Σ2 by Composition, so a minimal cover drops it.
+  constexpr AttrId CC = 0, CTRY = 1, DIAG = 2, MED = 3;
+  SigmaSet sigma = {
+      {AttrSet::Of({CC}), CTRY, OfdKind::kSynonym},
+      {AttrSet::Of({CC, DIAG}), MED, OfdKind::kSynonym},
+      // Σ3 normalized to single consequents:
+      {AttrSet::Of({CC, DIAG}), MED, OfdKind::kSynonym},
+      {AttrSet::Of({CC, DIAG}), CTRY, OfdKind::kSynonym},
+  };
+  SigmaSet cover = MinimalCover(sigma);
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0], (Ofd{AttrSet::Of({CC}), CTRY, OfdKind::kSynonym}));
+  EXPECT_EQ(cover[1], (Ofd{AttrSet::Of({CC, DIAG}), MED, OfdKind::kSynonym}));
+}
+
+TEST(MinimalCoverTest, RemovesExtraneousLhsAttributes) {
+  // A->B makes AB->... overconstrained: {A,C}->B should shrink to nothing
+  // extra when A->B present; classic: A->B, AC->B  =>  {A->B}.
+  SigmaSet sigma = {{AttrSet::Of({A}), B, OfdKind::kSynonym},
+                    {AttrSet::Of({A, C}), B, OfdKind::kSynonym}};
+  SigmaSet cover = MinimalCover(sigma);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].lhs, AttrSet::Of({A}));
+  EXPECT_EQ(cover[0].rhs, B);
+}
+
+TEST(MinimalCoverTest, DropsTrivialDependencies) {
+  SigmaSet sigma = {{AttrSet::Of({A, B}), A, OfdKind::kSynonym}};
+  EXPECT_TRUE(MinimalCover(sigma).empty());
+}
+
+TEST(MinimalCoverTest, CoverIsEquivalentToOriginal) {
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    SigmaSet sigma;
+    int n = static_cast<int>(rng.NextUint(8)) + 1;
+    for (int i = 0; i < n; ++i) {
+      AttrSet lhs;
+      for (int a = 0; a < 6; ++a) {
+        if (rng.NextBernoulli(0.3)) lhs = lhs.With(a);
+      }
+      AttrId rhs = static_cast<AttrId>(rng.NextUint(6));
+      sigma.push_back({lhs, rhs, OfdKind::kSynonym});
+    }
+    SigmaSet cover = MinimalCover(sigma);
+    // Every original OFD is implied by the cover, and vice versa.
+    for (const Ofd& ofd : sigma) {
+      EXPECT_TRUE(ImpliesOfd(cover, ofd));
+    }
+    for (const Ofd& ofd : cover) {
+      EXPECT_TRUE(ImpliesOfd(sigma, ofd));
+      // Minimality condition 3: no dependency is redundant.
+      SigmaSet rest;
+      for (const Ofd& other : cover) {
+        if (!(other == ofd)) rest.push_back(other);
+      }
+      EXPECT_FALSE(ImpliesOfd(rest, ofd));
+      // Minimality condition 2: no antecedent attribute is extraneous.
+      for (AttrId b : ofd.lhs.ToVector()) {
+        Ofd reduced{ofd.lhs.Without(b), ofd.rhs, ofd.kind};
+        SigmaSet replaced = rest;
+        replaced.push_back(reduced);
+        EXPECT_FALSE(ImpliesOfd(cover, reduced))
+            << "cover should not imply the reduced dependency";
+        (void)replaced;
+      }
+    }
+  }
+}
+
+TEST(RenderTest, RendersOfd) {
+  Schema schema({"CC", "CTRY", "SYMP", "DIAG", "MED"});
+  Ofd ofd{AttrSet::Of({2, 3}), 4, OfdKind::kSynonym};
+  EXPECT_EQ(RenderOfd(ofd, schema), "[SYMP,DIAG] ->syn [MED]");
+  Ofd inh{AttrSet::Of({0}), 1, OfdKind::kInheritance};
+  EXPECT_EQ(RenderOfd(inh, schema), "[CC] ->inh [CTRY]");
+}
+
+}  // namespace
+}  // namespace fastofd

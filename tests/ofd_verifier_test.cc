@@ -1,0 +1,251 @@
+// Tests for OFD data verification (Definition 2.1), including the paper's
+// Table 1 / Table 2 examples, approximate support, and inheritance checks.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ofd/ofd.h"
+#include "ofd/verifier.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+namespace {
+
+// Table 1 (original values) plus the combined drug+country ontology.
+struct Fixture {
+  Relation rel;
+  Ontology ontology;
+  SynonymIndex index;
+  OfdVerifier verifier;
+
+  static Fixture Make(bool updated_meds) {
+    auto csv = ReadCsvFile(std::string(FASTOFD_DATA_DIR) + "/clinical_trials.csv");
+    EXPECT_TRUE(csv.ok());
+    auto rel = Relation::FromCsv(csv.value());
+    EXPECT_TRUE(rel.ok());
+    Relation relation = std::move(rel).value();
+    if (!updated_meds) {
+      // data file ships the *updated* Table 1 (t9=ASA, t11=adizem);
+      // restore the original values for the "clean" fixture.
+      relation.Set(8, relation.schema().Find("MED"), "tiazac");
+      relation.Set(10, relation.schema().Find("MED"), "tiazac");
+    }
+    // Merge the two ontology files (names are disjoint).
+    std::string dir(FASTOFD_DATA_DIR);
+    auto drug = ReadOntologyFile(dir + "/drug_ontology.txt");
+    auto country = ReadOntologyFile(dir + "/country_ontology.txt");
+    EXPECT_TRUE(drug.ok());
+    EXPECT_TRUE(country.ok());
+    std::string merged = WriteOntology(drug.value()) + WriteOntology(country.value());
+    auto ont = ParseOntology(merged);
+    EXPECT_TRUE(ont.ok());
+    return Fixture(std::move(relation), std::move(ont).value());
+  }
+
+ private:
+  Fixture(Relation r, Ontology o)
+      : rel(std::move(r)),
+        ontology(std::move(o)),
+        index(ontology, rel.dict()),
+        verifier(rel, index, &ontology, /*theta=*/3) {}
+};
+
+Ofd MakeOfd(const Schema& s, std::initializer_list<const char*> lhs, const char* rhs,
+            OfdKind kind = OfdKind::kSynonym) {
+  AttrSet l;
+  for (const char* a : lhs) l = l.With(s.Find(a));
+  return Ofd{l, s.Find(rhs), kind};
+}
+
+TEST(OfdVerifierTest, CcToCtryHoldsAsSynonymOfd) {
+  Fixture f = Fixture::Make(/*updated_meds=*/false);
+  Ofd ofd = MakeOfd(f.rel.schema(), {"CC"}, "CTRY");
+  // The FD fails (USA vs America), but the OFD holds (Example 2.2).
+  StrippedPartition cc = StrippedPartition::BuildForSet(f.rel, ofd.lhs);
+  StrippedPartition cc_ctry = StrippedPartition::BuildForSet(
+      f.rel, ofd.lhs.With(ofd.rhs));
+  EXPECT_FALSE(FdHolds(cc, cc_ctry));
+  EXPECT_TRUE(f.verifier.Holds(ofd));
+}
+
+TEST(OfdVerifierTest, SympDiagToMedHoldsOnOriginalTable) {
+  Fixture f = Fixture::Make(/*updated_meds=*/false);
+  Ofd ofd = MakeOfd(f.rel.schema(), {"SYMP", "DIAG"}, "MED");
+  EXPECT_TRUE(f.verifier.Holds(ofd));
+}
+
+TEST(OfdVerifierTest, SympDiagToMedFailsOnUpdatedTable) {
+  // Example 1.2: with t9[MED]=ASA and t11[MED]=adizem there is no sense
+  // under which {cartia, ASA, tiazac, adizem} are all synonyms.
+  Fixture f = Fixture::Make(/*updated_meds=*/true);
+  Ofd ofd = MakeOfd(f.rel.schema(), {"SYMP", "DIAG"}, "MED");
+  EXPECT_FALSE(f.verifier.Holds(ofd));
+}
+
+TEST(OfdVerifierTest, OntologyRepairRestoresSatisfaction) {
+  Fixture f = Fixture::Make(/*updated_meds=*/true);
+  Ofd ofd = MakeOfd(f.rel.schema(), {"SYMP", "DIAG"}, "MED");
+  SenseId fda = f.ontology.FindSense("fda_diltiazem");
+  ASSERT_NE(fda, kInvalidSense);
+  // Paper resolution (1): add ASA and adizem under the FDA sense.
+  f.index.AddValue(fda, f.rel.dict().Lookup("ASA"));
+  f.index.AddValue(fda, f.rel.dict().Lookup("adizem"));
+  EXPECT_TRUE(f.verifier.Holds(ofd));
+}
+
+TEST(OfdVerifierTest, PairwiseSharedSensesAreNotEnough) {
+  // Paper Table 2: v,w,z share senses pairwise but the triple intersection
+  // is empty, so the OFD must fail — tuple-pair verification is unsound.
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"u", "v"});
+  rel.AppendRow({"u", "w"});
+  rel.AppendRow({"u", "z"});
+  Ontology ont;
+  SenseId c = ont.AddSense("C");
+  SenseId d = ont.AddSense("D");
+  SenseId fsense = ont.AddSense("F");
+  SenseId g = ont.AddSense("G");
+  // names(v)={C,D}, names(w)={D,F}, names(z)={C,F,G}.
+  ont.AddValue(c, "v");
+  ont.AddValue(d, "v");
+  ont.AddValue(d, "w");
+  ont.AddValue(fsense, "w");
+  ont.AddValue(c, "z");
+  ont.AddValue(fsense, "z");
+  ont.AddValue(g, "z");
+  SynonymIndex index(ont, rel.dict());
+  OfdVerifier verifier(rel, index);
+  Ofd ofd{AttrSet::Of({0}), 1, OfdKind::kSynonym};
+
+  // Every pair of rows satisfies the OFD...
+  for (RowId a = 0; a < 3; ++a) {
+    for (RowId b = a + 1; b < 3; ++b) {
+      EXPECT_TRUE(verifier.HoldsInClass({a, b}, 1, OfdKind::kSynonym));
+    }
+  }
+  // ...but the whole class does not.
+  EXPECT_FALSE(verifier.Holds(ofd));
+}
+
+TEST(OfdVerifierTest, TransitivityDoesNotHoldForOfds) {
+  // Paper §3.1: R(A,B,C) = {(a,b,d),(a,c,e),(a,b,d)}, b syn c, d !syn e.
+  // A->B and B->C hold, but A->C fails.
+  Relation rel(Schema({"A", "B", "C"}));
+  rel.AppendRow({"a", "b", "d"});
+  rel.AppendRow({"a", "c", "e"});
+  rel.AppendRow({"a", "b", "d"});
+  Ontology ont;
+  SenseId s = ont.AddSense("bc");
+  ont.AddValue(s, "b");
+  ont.AddValue(s, "c");
+  SynonymIndex index(ont, rel.dict());
+  OfdVerifier verifier(rel, index);
+  EXPECT_TRUE(verifier.Holds({AttrSet::Of({0}), 1, OfdKind::kSynonym}));
+  EXPECT_TRUE(verifier.Holds({AttrSet::Of({1}), 2, OfdKind::kSynonym}));
+  EXPECT_FALSE(verifier.Holds({AttrSet::Of({0}), 2, OfdKind::kSynonym}));
+}
+
+TEST(OfdVerifierTest, ValueOutsideOntologyOnlySatisfiedByEquality) {
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"u", "mystery"});
+  rel.AppendRow({"u", "mystery"});
+  rel.AppendRow({"w", "mystery"});
+  rel.AppendRow({"w", "other"});
+  Ontology ont;  // Empty ontology: plain FD semantics.
+  SynonymIndex index(ont, rel.dict());
+  OfdVerifier verifier(rel, index);
+  // Class u: equal values -> holds. Class w: distinct, no senses -> fails.
+  EXPECT_TRUE(verifier.HoldsInClass({0, 1}, 1, OfdKind::kSynonym));
+  EXPECT_FALSE(verifier.HoldsInClass({2, 3}, 1, OfdKind::kSynonym));
+  EXPECT_FALSE(verifier.Holds({AttrSet::Of({0}), 1, OfdKind::kSynonym}));
+}
+
+TEST(OfdVerifierTest, SupportIsOneIffExactHolds) {
+  Fixture clean = Fixture::Make(false);
+  Fixture dirty = Fixture::Make(true);
+  Ofd ofd = MakeOfd(clean.rel.schema(), {"SYMP", "DIAG"}, "MED");
+  StrippedPartition p_clean = StrippedPartition::BuildForSet(clean.rel, ofd.lhs);
+  StrippedPartition p_dirty = StrippedPartition::BuildForSet(dirty.rel, ofd.lhs);
+  EXPECT_DOUBLE_EQ(clean.verifier.Support(ofd, p_clean), 1.0);
+  EXPECT_LT(dirty.verifier.Support(ofd, p_dirty), 1.0);
+  // Updated table: headache/hypertension class {t8..t11} = {cartia, ASA,
+  // tiazac, adizem}; best sense covers 2 of 4 tuples (cartia+tiazac under
+  // FDA or cartia+ASA under MoH). Other classes are satisfied.
+  // => support = (11 - 4 + 2) / 11 = 9/11.
+  EXPECT_NEAR(dirty.verifier.Support(ofd, p_dirty), 9.0 / 11.0, 1e-9);
+}
+
+TEST(OfdVerifierTest, SupportPropertyOnRandomInstances) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    Relation rel(Schema({"X", "Y"}));
+    Ontology ont;
+    SenseId s0 = ont.AddSense("s0");
+    SenseId s1 = ont.AddSense("s1");
+    for (int i = 0; i < 4; ++i) ont.AddValue(s0, "a" + std::to_string(i));
+    for (int i = 0; i < 4; ++i) ont.AddValue(s1, "b" + std::to_string(i));
+    for (int r = 0; r < 60; ++r) {
+      std::string x = "x" + std::to_string(rng.NextUint(6));
+      std::string pool = rng.NextBernoulli(0.5) ? "a" : "b";
+      std::string y = pool + std::to_string(rng.NextUint(4));
+      rel.AppendRow({x, y});
+    }
+    SynonymIndex index(ont, rel.dict());
+    OfdVerifier verifier(rel, index);
+    Ofd ofd{AttrSet::Of({0}), 1, OfdKind::kSynonym};
+    StrippedPartition p = StrippedPartition::BuildForSet(rel, ofd.lhs);
+    double support = verifier.Support(ofd, p);
+    EXPECT_GE(support, 0.0);
+    EXPECT_LE(support, 1.0);
+    EXPECT_EQ(verifier.Holds(ofd, p), support == 1.0);
+  }
+}
+
+TEST(OfdVerifierTest, SavingsCountsSynonymClasses) {
+  Fixture f = Fixture::Make(false);
+  Ofd ofd = MakeOfd(f.rel.schema(), {"CC"}, "CTRY");
+  StrippedPartition p = StrippedPartition::BuildForSet(f.rel, ofd.lhs);
+  SynonymSavings savings = f.verifier.Savings(ofd, p);
+  // Π*_CC = {US-class (7 tuples), IN-class (3 tuples)}; both contain
+  // syntactically distinct but synonymous CTRY values.
+  EXPECT_EQ(savings.classes, 2);
+  EXPECT_EQ(savings.synonym_classes, 2);
+  EXPECT_EQ(savings.saved_tuples, 10);
+  EXPECT_EQ(savings.class_tuples, 10);
+}
+
+TEST(OfdVerifierTest, InheritanceOfdViaCommonAncestor) {
+  Fixture f = Fixture::Make(false);
+  // tylenol (acetaminophen family) and ibuprofen (nsaid family) share the
+  // ancestor 'continuant_drug' within 3 hops, but not within 1.
+  Relation rel(Schema({"G", "MED"}));
+  rel.AppendRow({"g", "tylenol"});
+  rel.AppendRow({"g", "ibuprofen"});
+  SynonymIndex index(f.ontology, rel.dict());
+  OfdVerifier loose(rel, index, &f.ontology, /*theta=*/3);
+  OfdVerifier strict(rel, index, &f.ontology, /*theta=*/0);
+  Ofd inh{AttrSet::Of({0}), 1, OfdKind::kInheritance};
+  EXPECT_TRUE(loose.Holds(inh));
+  EXPECT_FALSE(strict.Holds(inh));
+}
+
+TEST(OfdVerifierTest, SynonymOfdImpliesInheritanceOfdAtSameClass) {
+  // Values synonymous under one sense share that sense's concept trivially.
+  Fixture f = Fixture::Make(false);
+  Relation rel(Schema({"G", "MED"}));
+  rel.AppendRow({"g", "cartia"});
+  rel.AppendRow({"g", "tiazac"});
+  SynonymIndex index(f.ontology, rel.dict());
+  OfdVerifier verifier(rel, index, &f.ontology, /*theta=*/0);
+  EXPECT_TRUE(verifier.Holds({AttrSet::Of({0}), 1, OfdKind::kSynonym}));
+  EXPECT_TRUE(verifier.Holds({AttrSet::Of({0}), 1, OfdKind::kInheritance}));
+}
+
+}  // namespace
+}  // namespace fastofd

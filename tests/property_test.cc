@@ -1,0 +1,324 @@
+// Cross-cutting property tests: invariants that must hold on arbitrary
+// instances, swept over seeds with TEST_P. These complement the per-module
+// unit tests with the algebraic laws the paper's algorithms rely on.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clean/repair.h"
+#include "clean/sense_assignment.h"
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "discovery/set_cover.h"
+#include "ofd/inference.h"
+#include "ofd/sigma_io.h"
+#include "ofd/verifier.h"
+#include "ontology/generator.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+
+namespace fastofd {
+namespace {
+
+// Shared random instance builder (relation whose consequents draw from a
+// generated ontology).
+struct Instance {
+  Relation rel;
+  Ontology ontology;
+};
+
+Instance MakeInstance(uint64_t seed, int n_attrs = 4, int n_rows = 40) {
+  Rng rng(seed);
+  OntologyGenConfig ocfg;
+  ocfg.num_senses = 4;
+  ocfg.values_per_sense = 5;
+  ocfg.overlap = 0.35;
+  ocfg.seed = seed * 7 + 3;
+  Ontology ont = GenerateOntology(ocfg);
+  std::vector<std::string> names;
+  for (int a = 0; a < n_attrs; ++a) names.push_back(std::string(1, 'A' + a));
+  Relation rel((Schema(names)));
+  for (int r = 0; r < n_rows; ++r) {
+    std::vector<std::string> row;
+    for (int a = 0; a < n_attrs; ++a) {
+      if (rng.NextBernoulli(0.75)) {
+        SenseId s = static_cast<SenseId>(rng.NextUint(ont.num_senses()));
+        const auto& vals = ont.SenseValues(s);
+        row.push_back(vals[rng.NextUint(vals.size())]);
+      } else {
+        row.push_back("x" + std::to_string(rng.NextUint(5)));
+      }
+    }
+    rel.AppendRow(row);
+  }
+  return {std::move(rel), std::move(ont)};
+}
+
+class PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertyTest, OfdSatisfactionIsClosedUnderAugmentation) {
+  // Opt-2's soundness: if X -> A holds, every XY -> A holds.
+  Instance inst = MakeInstance(3000 + GetParam());
+  SynonymIndex index(inst.ontology, inst.rel.dict());
+  OfdVerifier verifier(inst.rel, index);
+  const int n = inst.rel.num_attrs();
+  for (AttrId a = 0; a < n; ++a) {
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      AttrSet lhs = AttrSet::FromMask(mask);
+      if (lhs.Contains(a)) continue;
+      if (!verifier.Holds({lhs, a, OfdKind::kSynonym})) continue;
+      // All supersets must hold too.
+      for (AttrId b = 0; b < n; ++b) {
+        if (b == a || lhs.Contains(b)) continue;
+        EXPECT_TRUE(verifier.Holds({lhs.With(b), a, OfdKind::kSynonym}))
+            << inst.rel.schema().Render(lhs) << " + " << b << " -> " << a;
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, SupportIsMonotoneUnderAugmentation) {
+  Instance inst = MakeInstance(3100 + GetParam());
+  SynonymIndex index(inst.ontology, inst.rel.dict());
+  OfdVerifier verifier(inst.rel, index);
+  const int n = inst.rel.num_attrs();
+  for (AttrId a = 0; a < n; ++a) {
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      AttrSet lhs = AttrSet::FromMask(mask);
+      if (lhs.Contains(a)) continue;
+      Ofd ofd{lhs, a, OfdKind::kSynonym};
+      StrippedPartition p = StrippedPartition::BuildForSet(inst.rel, lhs);
+      double support = verifier.Support(ofd, p);
+      for (AttrId b = 0; b < n; ++b) {
+        if (b == a || lhs.Contains(b)) continue;
+        StrippedPartition p2 = StrippedPartition::BuildForSet(inst.rel, lhs.With(b));
+        EXPECT_GE(verifier.Support({lhs.With(b), a, OfdKind::kSynonym}, p2),
+                  support - 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, PartitionProductIsCommutativeAndAssociative) {
+  Instance inst = MakeInstance(3200 + GetParam(), 3, 50);
+  StrippedPartition a = StrippedPartition::Build(inst.rel, 0);
+  StrippedPartition b = StrippedPartition::Build(inst.rel, 1);
+  StrippedPartition c = StrippedPartition::Build(inst.rel, 2);
+  auto canon = [](const StrippedPartition& p) {
+    std::set<std::set<RowId>> out;
+    for (const auto& cls : p.classes()) out.insert({cls.begin(), cls.end()});
+    return out;
+  };
+  EXPECT_EQ(canon(StrippedPartition::Product(a, b)),
+            canon(StrippedPartition::Product(b, a)));
+  EXPECT_EQ(canon(StrippedPartition::Product(StrippedPartition::Product(a, b), c)),
+            canon(StrippedPartition::Product(a, StrippedPartition::Product(b, c))));
+  // Idempotence: Π*_X · Π*_X = Π*_X.
+  EXPECT_EQ(canon(StrippedPartition::Product(a, a)), canon(a));
+}
+
+TEST_P(PropertyTest, PartitionErrorIsMonotone) {
+  // Adding attributes refines partitions: error can only decrease, and the
+  // number of full classes can only increase.
+  Instance inst = MakeInstance(3300 + GetParam(), 5, 60);
+  Rng rng(42 + GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    AttrSet x = AttrSet::FromMask(rng.NextUint(31) + 1);
+    AttrId extra = static_cast<AttrId>(rng.NextUint(5));
+    StrippedPartition px = StrippedPartition::BuildForSet(inst.rel, x);
+    StrippedPartition pxa = StrippedPartition::BuildForSet(inst.rel, x.With(extra));
+    EXPECT_LE(pxa.error(), px.error());
+    EXPECT_GE(pxa.full_num_classes(), px.full_num_classes());
+  }
+}
+
+TEST_P(PropertyTest, DiscoveredOfdsHoldAndAreMinimalAndComplete) {
+  Instance inst = MakeInstance(3400 + GetParam());
+  SynonymIndex index(inst.ontology, inst.rel.dict());
+  OfdVerifier verifier(inst.rel, index);
+  FastOfdResult result = FastOfd(inst.rel, index).Discover();
+  std::set<Ofd> found(result.ofds.begin(), result.ofds.end());
+  // Sound + minimal.
+  for (const Ofd& ofd : result.ofds) {
+    EXPECT_TRUE(verifier.Holds(ofd));
+    for (AttrId b : ofd.lhs.ToVector()) {
+      EXPECT_FALSE(verifier.Holds({ofd.lhs.Without(b), ofd.rhs, ofd.kind}));
+    }
+  }
+  // Complete: every holding dependency is a superset of a found one.
+  const int n = inst.rel.num_attrs();
+  for (AttrId a = 0; a < n; ++a) {
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      AttrSet lhs = AttrSet::FromMask(mask);
+      if (lhs.Contains(a)) continue;
+      if (!verifier.Holds({lhs, a, OfdKind::kSynonym})) continue;
+      bool covered = false;
+      for (const Ofd& ofd : result.ofds) {
+        if (ofd.rhs == a && ofd.lhs.IsSubsetOf(lhs)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << inst.rel.schema().Render(lhs) << " -> " << a;
+    }
+  }
+}
+
+TEST_P(PropertyTest, RepairDataIsIdempotentAndConsistent) {
+  DataGenConfig cfg;
+  cfg.num_rows = 200;
+  cfg.num_senses = 4;
+  cfg.error_rate = 0.08;
+  cfg.seed = 3500 + static_cast<uint64_t>(GetParam());
+  GeneratedData data = GenerateData(cfg);
+  SynonymIndex index(data.ontology, data.rel.dict());
+  SenseSelector selector(data.rel, index, data.sigma);
+  SenseAssignmentResult assignment = selector.Run();
+  RepairResult first = RepairData(data.rel, index, data.sigma, assignment, 1 << 20);
+  ASSERT_TRUE(first.consistent);
+  // Repairing the repaired instance changes nothing.
+  RepairResult second =
+      RepairData(first.repaired, index, data.sigma, assignment, 1 << 20);
+  EXPECT_EQ(second.data_changes, 0);
+  EXPECT_TRUE(second.consistent);
+}
+
+TEST_P(PropertyTest, OfdCleanProducesConsistentParetoOrderedRepairs) {
+  DataGenConfig cfg;
+  cfg.num_rows = 250;
+  cfg.num_senses = 4;
+  cfg.error_rate = 0.05;
+  cfg.incompleteness_rate = 0.1;
+  cfg.seed = 3600 + static_cast<uint64_t>(GetParam());
+  GeneratedData data = GenerateData(cfg);
+  OfdClean cleaner(data.rel, data.ontology, data.sigma);
+  OfdCleanResult result = cleaner.Run();
+  EXPECT_TRUE(result.best.consistent);
+  // Pareto points strictly improve data changes as ontology changes grow.
+  for (size_t i = 1; i < result.pareto.size(); ++i) {
+    EXPECT_GT(result.pareto[i].ontology_changes,
+              result.pareto[i - 1].ontology_changes);
+    EXPECT_LT(result.pareto[i].data_changes, result.pareto[i - 1].data_changes);
+  }
+  // Only consequent attributes were touched.
+  AttrSet rhs_attrs;
+  for (const Ofd& ofd : data.sigma) rhs_attrs = rhs_attrs.With(ofd.rhs);
+  for (RowId r = 0; r < data.rel.num_rows(); ++r) {
+    for (int a = 0; a < data.rel.num_attrs(); ++a) {
+      if (!rhs_attrs.Contains(a)) {
+        EXPECT_EQ(data.rel.StringAt(r, a), result.best.repaired.StringAt(r, a));
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, SigmaRoundTripsThroughText) {
+  Rng rng(3700 + GetParam());
+  Schema schema({"CC", "CTRY", "SYMP", "DIAG", "MED", "TEST"});
+  SigmaSet sigma;
+  for (int i = 0; i < 8; ++i) {
+    AttrSet lhs;
+    for (int a = 0; a < 6; ++a) {
+      if (rng.NextBernoulli(0.3)) lhs = lhs.With(a);
+    }
+    AttrId rhs = static_cast<AttrId>(rng.NextUint(6));
+    if (lhs.Contains(rhs)) lhs = lhs.Without(rhs);
+    OfdKind kind = rng.NextBernoulli(0.3) ? OfdKind::kInheritance : OfdKind::kSynonym;
+    sigma.push_back(Ofd{lhs, rhs, kind});
+  }
+  auto round = ParseSigma(WriteSigma(sigma, schema), schema);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), sigma);
+}
+
+TEST_P(PropertyTest, MinimalCoverIsAFixpoint) {
+  Rng rng(3800 + GetParam());
+  SigmaSet sigma;
+  int n = 2 + static_cast<int>(rng.NextUint(8));
+  for (int i = 0; i < n; ++i) {
+    AttrSet lhs;
+    for (int a = 0; a < 6; ++a) {
+      if (rng.NextBernoulli(0.35)) lhs = lhs.With(a);
+    }
+    sigma.push_back({lhs, static_cast<AttrId>(rng.NextUint(6)), OfdKind::kSynonym});
+  }
+  SigmaSet cover = MinimalCover(sigma);
+  EXPECT_EQ(MinimalCover(cover), cover);
+}
+
+TEST_P(PropertyTest, TransversalDualityOnSmallFamilies) {
+  // Minimal transversals are an involution on antichains:
+  // Tr(Tr(F)) = minimal sets of F when F is an antichain.
+  Rng rng(3900 + GetParam());
+  AttrSet universe = AttrSet::All(5);
+  std::vector<AttrSet> family;
+  for (int i = 0; i < 4; ++i) {
+    AttrSet s;
+    for (int a = 0; a < 5; ++a) {
+      if (rng.NextBernoulli(0.5)) s = s.With(a);
+    }
+    if (!s.empty()) family.push_back(s);
+  }
+  family = MinimalSets(std::move(family));
+  if (family.empty()) return;
+  std::vector<AttrSet> tr = MinimalTransversals(family, universe);
+  std::vector<AttrSet> tr2 = MinimalTransversals(tr, universe);
+  std::sort(tr2.begin(), tr2.end());
+  std::vector<AttrSet> expected = family;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(tr2, expected);
+}
+
+TEST_P(PropertyTest, InheritanceSubsumesSynonymPerClass) {
+  // Under theta >= 0 a class satisfied by a common sense is satisfied by a
+  // common concept (the sense's own concept) — when senses have concepts.
+  Instance inst = MakeInstance(4000 + GetParam());
+  SynonymIndex index(inst.ontology, inst.rel.dict());
+  OfdVerifier verifier(inst.rel, index, &inst.ontology, /*theta=*/0);
+  const int n = inst.rel.num_attrs();
+  for (AttrId a = 0; a < n; ++a) {
+    for (AttrId x = 0; x < n; ++x) {
+      if (x == a) continue;
+      StrippedPartition p = StrippedPartition::BuildForSet(inst.rel, AttrSet::Single(x));
+      for (const auto& rows : p.classes()) {
+        if (verifier.HoldsInClass(rows, a, OfdKind::kSynonym)) {
+          EXPECT_TRUE(verifier.HoldsInClass(rows, a, OfdKind::kInheritance));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, BurstyErrorsRepeatOneValuePerClass) {
+  DataGenConfig cfg;
+  cfg.num_rows = 300;
+  cfg.error_rate = 0.2;
+  cfg.in_domain_error_fraction = 1.0;
+  cfg.bursty_errors = true;
+  cfg.classes_per_antecedent = 4;
+  cfg.seed = 4100 + static_cast<uint64_t>(GetParam());
+  GeneratedData data = GenerateData(cfg);
+  // Within one (class value, consequent) the dirty values are identical.
+  std::map<std::string, std::set<std::string>> dirty_by_class;
+  for (const InjectedError& e : data.errors) {
+    int j = e.attr - cfg.num_antecedents;
+    std::string key = std::to_string(j) + ":" +
+                      data.rel.StringAt(e.row, static_cast<AttrId>(
+                                                   j % cfg.num_antecedents));
+    dirty_by_class[key].insert(e.dirty);
+  }
+  for (const auto& [key, values] : dirty_by_class) {
+    // Burst value + a collision slot + (rare) out-of-domain fallbacks.
+    EXPECT_LE(values.size(), 3u) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace fastofd

@@ -1,0 +1,132 @@
+// Tests for Σ (OFD set) text serialization and the NFD comparison class.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ofd/nfd.h"
+#include "ofd/sigma_io.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "ofd/verifier.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+namespace {
+
+TEST(SigmaIoTest, ParsesAllForms) {
+  Schema schema({"CC", "CTRY", "SYMP", "DIAG", "MED"});
+  auto result = ParseSigma(
+      "# comment\n"
+      "CC -> CTRY\n"
+      "SYMP, DIAG ->syn MED\n"
+      "CC ->inh MED\n"
+      "{} -> CTRY\n",
+      schema);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  const SigmaSet& sigma = result.value();
+  ASSERT_EQ(sigma.size(), 4u);
+  EXPECT_EQ(sigma[0], (Ofd{AttrSet::Of({0}), 1, OfdKind::kSynonym}));
+  EXPECT_EQ(sigma[1], (Ofd{AttrSet::Of({2, 3}), 4, OfdKind::kSynonym}));
+  EXPECT_EQ(sigma[2], (Ofd{AttrSet::Of({0}), 4, OfdKind::kInheritance}));
+  EXPECT_EQ(sigma[3], (Ofd{AttrSet(), 1, OfdKind::kSynonym}));
+}
+
+TEST(SigmaIoTest, RoundTrips) {
+  Schema schema({"A", "B", "C", "D"});
+  SigmaSet sigma = {{AttrSet::Of({0, 2}), 1, OfdKind::kSynonym},
+                    {AttrSet(), 3, OfdKind::kSynonym},
+                    {AttrSet::Of({1}), 2, OfdKind::kInheritance}};
+  auto round = ParseSigma(WriteSigma(sigma, schema), schema);
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value(), sigma);
+}
+
+TEST(SigmaIoTest, Errors) {
+  Schema schema({"A", "B"});
+  EXPECT_FALSE(ParseSigma("A B\n", schema).ok());          // no arrow
+  EXPECT_FALSE(ParseSigma("A -> Z\n", schema).ok());       // unknown attr
+  EXPECT_FALSE(ParseSigma("Z -> A\n", schema).ok());       // unknown attr
+  EXPECT_FALSE(ParseSigma("A ->\n", schema).ok());         // no consequent
+  EXPECT_FALSE(ParseSigma("A, B -> A\n", schema).ok());    // trivial
+  EXPECT_TRUE(ParseSigma("\n# only comments\n", schema).ok());
+}
+
+// ---------------------------------------------------------------------------
+// NFDs (paper §3.4–3.6): semantics differ from OFDs in both directions.
+
+TEST(NfdTest, HoldsWithoutNullsIffFd) {
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"a", "1"});
+  rel.AppendRow({"a", "1"});
+  rel.AppendRow({"b", "2"});
+  EXPECT_TRUE(NfdHolds(rel, AttrSet::Of({0}), 1));
+  rel.Set(1, 1, "9");
+  EXPECT_FALSE(NfdHolds(rel, AttrSet::Of({0}), 1));
+}
+
+TEST(NfdTest, NullConsequentIsTolerated) {
+  // A null consequent makes the pair vacuously satisfied (weaker than FD).
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"a", "1"});
+  rel.AppendRow({"a", ""});
+  EXPECT_TRUE(NfdHolds(rel, AttrSet::Of({0}), 1, ""));
+  // Without null semantics ("" is an ordinary value) the FD fails.
+  EXPECT_FALSE(NfdHolds(rel, AttrSet::Of({0}), 1, "<null>"));
+}
+
+TEST(NfdTest, NullAntecedentMatchesEverything) {
+  // A null antecedent agrees with every tuple, making the NFD *stricter*
+  // than the FD on the same strings.
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"a", "1"});
+  rel.AppendRow({"", "2"});
+  EXPECT_FALSE(NfdHolds(rel, AttrSet::Of({0}), 1, ""));   // null X vs "a": Y differ
+  EXPECT_TRUE(NfdHolds(rel, AttrSet::Of({0}), 1, "<null>"));
+}
+
+TEST(NfdTest, OfdHoldsWhereNfdFails) {
+  // Paper Theorem 3.4 discussion: [CC] -> [CTRY] from Table 1 holds as an
+  // OFD (USA/America are synonyms) but fails as an NFD.
+  Relation rel(Schema({"CC", "CTRY"}));
+  rel.AppendRow({"US", "USA"});
+  rel.AppendRow({"US", "America"});
+  Ontology ont;
+  SenseId s = ont.AddSense("iso_us");
+  ont.AddValue(s, "USA");
+  ont.AddValue(s, "America");
+  SynonymIndex index(ont, rel.dict());
+  OfdVerifier verifier(rel, index);
+  EXPECT_TRUE(verifier.Holds({AttrSet::Of({0}), 1, OfdKind::kSynonym}));
+  EXPECT_FALSE(NfdHolds(rel, AttrSet::Of({0}), 1));
+}
+
+TEST(NfdTest, NfdHoldsWhereOfdFails) {
+  // The other direction: a null is a wildcard for the NFD but just an
+  // out-of-ontology value for the OFD.
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"a", "v1"});
+  rel.AppendRow({"a", ""});
+  Ontology ont;
+  SenseId s = ont.AddSense("s");
+  ont.AddValue(s, "v1");
+  SynonymIndex index(ont, rel.dict());
+  OfdVerifier verifier(rel, index);
+  EXPECT_TRUE(NfdHolds(rel, AttrSet::Of({0}), 1, ""));
+  EXPECT_FALSE(verifier.Holds({AttrSet::Of({0}), 1, OfdKind::kSynonym}));
+}
+
+TEST(NfdTest, PairwiseVsClassSemantics) {
+  // Paper Table 2 again: NFD-style pairwise checking is insufficient for
+  // OFDs — but as an NFD (plain equality, no nulls) the example simply
+  // fails pairwise too. This documents that the semantic gap is about
+  // senses, not about the pairwise/classwise mechanics alone.
+  Relation rel(Schema({"X", "Y"}));
+  rel.AppendRow({"u", "v"});
+  rel.AppendRow({"u", "w"});
+  rel.AppendRow({"u", "z"});
+  EXPECT_FALSE(NfdHolds(rel, AttrSet::Of({0}), 1));
+}
+
+}  // namespace
+}  // namespace fastofd

@@ -1,0 +1,230 @@
+// fastofd — command-line front end to the library.
+//
+//   fastofd discover --data t.csv --ontology o.txt [--kappa 0.9] [--inh]
+//                    [--max-level L] [--out sigma.txt]
+//       Discover the complete minimal set of OFDs; write Σ to --out.
+//
+//   fastofd verify --data t.csv --ontology o.txt --sigma sigma.txt
+//       Check each OFD in Σ; print satisfied/violated and support.
+//
+//   fastofd clean --data t.csv --ontology o.txt --sigma sigma.txt
+//                 [--beam B] [--tau T] [--out repaired.csv]
+//                 [--ontology-out repaired_ontology.txt]
+//       Run OFDClean; print the Pareto frontier and write the chosen repair.
+//
+//   fastofd gen --rows N [--senses K] [--err RATE] [--inc RATE]
+//               [--out data.csv] [--ontology-out o.txt] [--sigma-out s.txt]
+//       Generate a synthetic instance (data + ontology + Σ + ground truth).
+
+#include <cstdio>
+#include <string>
+
+#include "clean/repair.h"
+#include "common/flags.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "ofd/sigma_io.h"
+#include "ofd/verifier.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: fastofd <discover|verify|clean|gen> [flags]\n"
+               "see the header of tools/fastofd_cli.cc for details\n");
+  return 2;
+}
+
+// Loads --data and --ontology; returns false (after printing) on failure.
+bool LoadInputs(const Flags& flags, Relation* rel, Ontology* ontology) {
+  std::string data_path = flags.GetString("data", "");
+  std::string ont_path = flags.GetString("ontology", "");
+  if (data_path.empty() || ont_path.empty()) {
+    std::fprintf(stderr, "error: --data and --ontology are required\n");
+    return false;
+  }
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "error: %s\n", csv.status().message().c_str());
+    return false;
+  }
+  auto rel_result = Relation::FromCsv(csv.value());
+  if (!rel_result.ok()) {
+    std::fprintf(stderr, "error: %s\n", rel_result.status().message().c_str());
+    return false;
+  }
+  *rel = std::move(rel_result).value();
+  auto ont = ReadOntologyFile(ont_path);
+  if (!ont.ok()) {
+    std::fprintf(stderr, "error: %s\n", ont.status().message().c_str());
+    return false;
+  }
+  *ontology = std::move(ont).value();
+  return true;
+}
+
+int RunDiscover(const Flags& flags) {
+  Relation rel;
+  Ontology ontology;
+  if (!LoadInputs(flags, &rel, &ontology)) return 1;
+  SynonymIndex index(ontology, rel.dict());
+  FastOfdConfig config;
+  config.min_support = flags.GetDouble("kappa", 1.0);
+  config.max_level = static_cast<int>(flags.GetInt("max-level", 64));
+  if (flags.GetBool("inh", false)) config.kind = OfdKind::kInheritance;
+  config.theta = static_cast<int>(flags.GetInt("theta", 2));
+  FastOfdResult result =
+      FastOfd(rel, index, config, config.kind == OfdKind::kInheritance
+                                      ? &ontology
+                                      : nullptr)
+          .Discover();
+  std::fprintf(stderr, "%zu minimal OFDs (%lld candidates checked)\n",
+               result.ofds.size(),
+               static_cast<long long>(result.candidates_checked));
+  std::string text = WriteSigma(result.ofds, rel.schema());
+  std::string out = flags.GetString("out", "");
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+int RunVerify(const Flags& flags) {
+  Relation rel;
+  Ontology ontology;
+  if (!LoadInputs(flags, &rel, &ontology)) return 1;
+  auto sigma = ReadSigmaFile(flags.GetString("sigma", ""), rel.schema());
+  if (!sigma.ok()) {
+    std::fprintf(stderr, "error: %s\n", sigma.status().message().c_str());
+    return 1;
+  }
+  SynonymIndex index(ontology, rel.dict());
+  OfdVerifier verifier(rel, index, &ontology,
+                       static_cast<int>(flags.GetInt("theta", 2)));
+  int violated = 0;
+  for (const Ofd& ofd : sigma.value()) {
+    StrippedPartition p = StrippedPartition::BuildForSet(rel, ofd.lhs);
+    bool holds = verifier.Holds(ofd, p);
+    double support =
+        ofd.kind == OfdKind::kSynonym ? verifier.Support(ofd, p) : (holds ? 1 : 0);
+    std::printf("%-40s %-9s support=%.4f\n",
+                RenderOfd(ofd, rel.schema()).c_str(),
+                holds ? "satisfied" : "VIOLATED", support);
+    violated += !holds;
+  }
+  return violated == 0 ? 0 : 3;
+}
+
+int RunClean(const Flags& flags) {
+  Relation rel;
+  Ontology ontology;
+  if (!LoadInputs(flags, &rel, &ontology)) return 1;
+  auto sigma = ReadSigmaFile(flags.GetString("sigma", ""), rel.schema());
+  if (!sigma.ok()) {
+    std::fprintf(stderr, "error: %s\n", sigma.status().message().c_str());
+    return 1;
+  }
+  OfdCleanConfig config;
+  config.beam_size = static_cast<int>(flags.GetInt("beam", 0));
+  config.tau = flags.GetDouble("tau", 0.65);
+  OfdClean cleaner(rel, ontology, sigma.value(), config);
+  OfdCleanResult result = cleaner.Run();
+
+  std::printf("Pareto frontier (ontology insertions, data changes):\n");
+  for (const ParetoPoint& p : result.pareto) {
+    std::printf("  (%lld, %lld)\n", static_cast<long long>(p.ontology_changes),
+                static_cast<long long>(p.data_changes));
+  }
+  std::printf("chosen: %zu ontology insertions, %lld data changes, %s\n",
+              result.best.ontology_additions.size(),
+              static_cast<long long>(result.best.data_changes),
+              result.best.consistent ? "consistent" : "NOT consistent");
+  for (const OntologyAddition& add : result.best.ontology_additions) {
+    std::printf("  + '%s' under sense '%s'\n",
+                rel.dict().String(add.value).c_str(),
+                ontology.sense_name(add.sense).c_str());
+    ontology.AddValue(add.sense, rel.dict().String(add.value));
+  }
+
+  std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    Status s = WriteCsvFile(out, result.best.repaired.ToCsv());
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+  }
+  std::string ont_out = flags.GetString("ontology-out", "");
+  if (!ont_out.empty()) {
+    std::FILE* f = std::fopen(ont_out.c_str(), "wb");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write %s\n", ont_out.c_str());
+      return 1;
+    }
+    std::string text = WriteOntology(ontology);
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+int RunGen(const Flags& flags) {
+  DataGenConfig config;
+  config.num_rows = static_cast<int>(flags.GetInt("rows", 1000));
+  config.num_antecedents = static_cast<int>(flags.GetInt("antecedents", 2));
+  config.num_consequents = static_cast<int>(flags.GetInt("consequents", 2));
+  config.num_senses = static_cast<int>(flags.GetInt("senses", 4));
+  config.error_rate = flags.GetDouble("err", 0.03);
+  config.incompleteness_rate = flags.GetDouble("inc", 0.0);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  GeneratedData data = GenerateData(config);
+  std::fprintf(stderr, "generated %d rows, %zu errors, %zu removed values\n",
+               data.rel.num_rows(), data.errors.size(),
+               data.removed_values.size());
+  auto write_text = [](const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) return false;
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    return true;
+  };
+  std::string out = flags.GetString("out", "generated.csv");
+  if (!WriteCsvFile(out, data.rel.ToCsv()).ok()) return 1;
+  if (!write_text(flags.GetString("ontology-out", "generated_ontology.txt"),
+                  WriteOntology(data.ontology))) {
+    return 1;
+  }
+  if (!write_text(flags.GetString("sigma-out", "generated_sigma.txt"),
+                  WriteSigma(data.sigma, data.rel.schema()))) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fastofd
+
+int main(int argc, char** argv) {
+  using namespace fastofd;
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Flags flags = Flags::Parse(argc - 1, argv + 1);
+  if (command == "discover") return RunDiscover(flags);
+  if (command == "verify") return RunVerify(flags);
+  if (command == "clean") return RunClean(flags);
+  if (command == "gen") return RunGen(flags);
+  return Usage();
+}
