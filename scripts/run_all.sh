@@ -6,20 +6,31 @@
 #
 # Usage: scripts/run_all.sh [build-dir]
 
-set -uo pipefail
+set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
+# -e ensures a failed configure/build stops here instead of running ctest
+# and the benches against a stale build.
 cmake -B "$BUILD_DIR" -G Ninja
 cmake --build "$BUILD_DIR"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
 
 : > bench_output.txt
+bench_failures=0
 for b in "$BUILD_DIR"/bench/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "================================================================" \
     | tee -a bench_output.txt
   echo "\$ $b" | tee -a bench_output.txt
-  "$b" 2>&1 | tee -a bench_output.txt
+  if ! "$b" 2>&1 | tee -a bench_output.txt; then
+    echo "BENCH FAILED: $b" | tee -a bench_output.txt
+    bench_failures=$((bench_failures + 1))
+  fi
 done
+
+if [ "$bench_failures" -ne 0 ]; then
+  echo "$bench_failures bench binaries failed" >&2
+  exit 1
+fi

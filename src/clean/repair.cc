@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "exec/thread_pool.h"
 #include "ofd/verifier.h"
 
 namespace fastofd {
@@ -49,20 +52,25 @@ ValueId RepairValue(const Relation& rel, const SynonymIndex& index,
 
 RepairResult RepairData(const Relation& rel, const SynonymIndex& index,
                         const SigmaSet& sigma, const SenseAssignmentResult& assignment,
-                        int64_t max_changes) {
+                        int64_t max_changes, ThreadPool* pool,
+                        MetricsRegistry* metrics) {
   RepairResult result{rel, {}, 0, false, true};
   Relation& out = result.repaired;
+  ScopedTimer repair_timer(metrics, "repair.seconds");
+  if (metrics != nullptr) metrics->Add("repair.invocations", 1);
 
   // ---- Conflict graph + 2-approximate vertex cover (paper §7.2). -----
   // Edges are generated sparsely per violating class: each uncovered tuple
   // conflicts with one covered representative (if any) and with its
   // neighbouring uncovered tuple of a different value; this keeps the graph
   // linear in the class size while touching every problematic tuple.
+  // Classes are independent (read-only over `out`), so their edge lists are
+  // built on the pool and concatenated in class order — the edge sequence is
+  // identical to the serial one for any thread count.
   struct Conflict {
     RowId a, b;
     int ofd, cls;
   };
-  std::vector<Conflict> edges;
   auto class_violating = [&](const std::vector<RowId>& rows, AttrId rhs,
                              SenseId sense) {
     ValueId first = out.At(rows[0], rhs);
@@ -76,33 +84,53 @@ RepairResult RepairData(const Relation& rel, const SynonymIndex& index,
     return !all_equal && !all_covered;
   };
 
+  std::vector<std::pair<int, int>> class_items;  // (OFD index, class index).
   for (int i = 0; i < static_cast<int>(sigma.size()); ++i) {
-    AttrId rhs = sigma[static_cast<size_t>(i)].rhs;
     const auto& classes = assignment.partitions[static_cast<size_t>(i)].classes();
     for (int c = 0; c < static_cast<int>(classes.size()); ++c) {
-      const auto& rows = classes[static_cast<size_t>(c)];
-      SenseId sense = assignment.senses[static_cast<size_t>(i)][static_cast<size_t>(c)];
-      if (!class_violating(rows, rhs, sense)) continue;
-      RowId covered_rep = -1;
-      std::vector<RowId> uncovered;
-      for (RowId r : rows) {
-        ValueId v = out.At(r, rhs);
-        if (sense != kInvalidSense && index.SenseContains(sense, v)) {
-          if (covered_rep < 0) covered_rep = r;
-        } else {
-          uncovered.push_back(r);
-        }
-      }
-      for (size_t u = 0; u < uncovered.size(); ++u) {
-        if (covered_rep >= 0) {
-          edges.push_back(Conflict{uncovered[u], covered_rep, i, c});
-        }
-        if (u + 1 < uncovered.size() &&
-            out.At(uncovered[u], rhs) != out.At(uncovered[u + 1], rhs)) {
-          edges.push_back(Conflict{uncovered[u], uncovered[u + 1], i, c});
-        }
+      class_items.emplace_back(i, c);
+    }
+  }
+  std::vector<std::vector<Conflict>> class_edges(class_items.size());
+  auto build_class_edges = [&](size_t item) {
+    auto [i, c] = class_items[item];
+    AttrId rhs = sigma[static_cast<size_t>(i)].rhs;
+    const auto& rows =
+        assignment.partitions[static_cast<size_t>(i)].classes()[static_cast<size_t>(c)];
+    SenseId sense = assignment.senses[static_cast<size_t>(i)][static_cast<size_t>(c)];
+    if (!class_violating(rows, rhs, sense)) return;
+    RowId covered_rep = -1;
+    std::vector<RowId> uncovered;
+    for (RowId r : rows) {
+      ValueId v = out.At(r, rhs);
+      if (sense != kInvalidSense && index.SenseContains(sense, v)) {
+        if (covered_rep < 0) covered_rep = r;
+      } else {
+        uncovered.push_back(r);
       }
     }
+    std::vector<Conflict>& local = class_edges[item];
+    for (size_t u = 0; u < uncovered.size(); ++u) {
+      if (covered_rep >= 0) {
+        local.push_back(Conflict{uncovered[u], covered_rep, i, c});
+      }
+      if (u + 1 < uncovered.size() &&
+          out.At(uncovered[u], rhs) != out.At(uncovered[u + 1], rhs)) {
+        local.push_back(Conflict{uncovered[u], uncovered[u + 1], i, c});
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(class_items.size(),
+                      [&](size_t item, int) { build_class_edges(item); });
+  } else {
+    for (size_t item = 0; item < class_items.size(); ++item) {
+      build_class_edges(item);
+    }
+  }
+  std::vector<Conflict> edges;
+  for (std::vector<Conflict>& local : class_edges) {
+    edges.insert(edges.end(), local.begin(), local.end());
   }
 
   // 2-approximation: take both endpoints of any uncovered edge.
@@ -112,6 +140,10 @@ RepairResult RepairData(const Relation& rel, const SynonymIndex& index,
       cover.insert(e.a);
       cover.insert(e.b);
     }
+  }
+  if (metrics != nullptr) {
+    metrics->Add("repair.conflict_edges", static_cast<int64_t>(edges.size()));
+    metrics->Add("repair.cover_tuples", static_cast<int64_t>(cover.size()));
   }
 
   // ---- Repair pass: rewrite covered tuples class by class, then fix up
@@ -172,8 +204,26 @@ OfdClean::OfdClean(const Relation& rel, const Ontology& ontology,
 OfdCleanResult OfdClean::Run() {
   OfdCleanResult result{RepairResult{rel_, {}, 0, false, true}, {}, {}, 0, 0};
 
+  // One pool and one metrics registry for the whole pipeline: sense
+  // assignment, every beam-search RepairData call, and the final
+  // materialization all share them.
+  MetricsRegistry local_metrics;
+  MetricsRegistry& metrics =
+      config_.metrics != nullptr ? *config_.metrics : local_metrics;
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = config_.pool;
+  if (pool == nullptr) {
+    owned_pool.emplace(config_.num_threads);
+    pool = &*owned_pool;
+  }
+  ScopedTimer clean_timer(&metrics, "clean.seconds");
+
   SynonymIndex index(ontology_, rel_.dict());
-  SenseSelector selector(rel_, index, sigma_, SenseAssignConfig{config_.theta});
+  SenseAssignConfig assign_config{config_.theta};
+  assign_config.pool = pool;
+  assign_config.metrics = &metrics;
+  assign_config.partitions = config_.partitions;
+  SenseSelector selector(rel_, index, sigma_, assign_config);
   result.assignment = selector.Run();
 
   // τ budget: fraction of consequent cells.
@@ -261,7 +311,8 @@ OfdCleanResult OfdClean::Run() {
   auto evaluate = [&](const std::vector<int>& picks) -> RepairResult {
     for (int p : picks) index.AddValue(candidates[static_cast<size_t>(p)].sense,
                                        candidates[static_cast<size_t>(p)].value);
-    RepairResult r = RepairData(rel_, index, sigma_, result.assignment, budget);
+    RepairResult r = RepairData(rel_, index, sigma_, result.assignment, budget,
+                                pool, &metrics);
     for (int p : picks) index.RemoveValue(candidates[static_cast<size_t>(p)].sense,
                                           candidates[static_cast<size_t>(p)].value);
     for (int p : picks) {
@@ -344,6 +395,12 @@ OfdCleanResult OfdClean::Run() {
     }
   }
   result.pareto = std::move(filtered);
+
+  metrics.Add("clean.candidates", result.num_candidates);
+  metrics.Add("clean.beam.nodes_evaluated", result.nodes_evaluated);
+  metrics.Add("clean.ontology_additions",
+              static_cast<int64_t>(result.best.ontology_additions.size()));
+  metrics.Add("clean.data_changes", result.best.data_changes);
   return result;
 }
 

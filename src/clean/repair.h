@@ -30,6 +30,9 @@
 
 namespace fastofd {
 
+class MetricsRegistry;  // common/metrics.h
+class ThreadPool;       // exec/thread_pool.h
+
 /// Tunables for OFDClean (paper Table 6).
 struct OfdCleanConfig {
   /// Beam size b; 0 selects the secretary-rule default ⌊|Cand(S)|/e⌋.
@@ -50,6 +53,17 @@ struct OfdCleanConfig {
   /// values, which legitimately missing ontology values — occurring across
   /// many classes — easily pass.
   int min_candidate_classes = 1;
+  /// Worker threads for sense assignment and conflict-graph construction
+  /// (1 = serial). The repair output is identical for any thread count.
+  int num_threads = 1;
+  /// Shared execution pool; when null, Run() creates its own
+  /// `num_threads`-wide pool once and reuses it across all phases and every
+  /// beam-search node. When set, `num_threads` is ignored.
+  ThreadPool* pool = nullptr;
+  /// Optional metrics sink (`clean.*` and `repair.*` counters and timers).
+  MetricsRegistry* metrics = nullptr;
+  /// Optional partition cache shared with the verify phase.
+  PartitionCache* partitions = nullptr;
 };
 
 /// One ontology insertion: value added to a sense.
@@ -115,10 +129,14 @@ class OfdClean {
 /// repaired) synonym index: conflict graph + 2-approx vertex cover + fix-up.
 /// Returns the repaired relation and the number of changed cells; stops and
 /// flags infeasibility when the change budget `max_changes` is exceeded
-/// (pass INT64_MAX for unconstrained).
+/// (pass INT64_MAX for unconstrained). Conflict-graph construction runs on
+/// `pool` when provided (per-class edge lists, concatenated in class order,
+/// so the repair is identical for any thread count); `metrics` receives
+/// `repair.*` counters and timers.
 RepairResult RepairData(const Relation& rel, const SynonymIndex& index,
                         const SigmaSet& sigma, const SenseAssignmentResult& assignment,
-                        int64_t max_changes);
+                        int64_t max_changes, ThreadPool* pool = nullptr,
+                        MetricsRegistry* metrics = nullptr);
 
 }  // namespace fastofd
 

@@ -4,9 +4,12 @@
 #include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "clean/emd.h"
 #include "common/check.h"
+#include "common/metrics.h"
+#include "exec/thread_pool.h"
 
 namespace fastofd {
 
@@ -172,18 +175,44 @@ SenseAssignmentResult SenseSelector::Run() {
   const int n_ofds = static_cast<int>(sigma_.size());
   result.partitions.reserve(static_cast<size_t>(n_ofds));
   result.senses.resize(static_cast<size_t>(n_ofds));
+  MetricsRegistry* metrics = config_.metrics;
+  ScopedTimer assign_timer(metrics, "clean.assign.seconds");
 
-  // Initial assignment (Algorithm 5) for every class of every OFD.
-  for (int i = 0; i < n_ofds; ++i) {
-    result.partitions.push_back(
-        StrippedPartition::BuildForSet(rel_, sigma_[static_cast<size_t>(i)].lhs));
-    const auto& classes = result.partitions.back().classes();
-    auto& senses = result.senses[static_cast<size_t>(i)];
-    senses.reserve(classes.size());
-    for (const auto& rows : classes) {
-      senses.push_back(InitialAssignment(rel_, index_, rows,
-                                         sigma_[static_cast<size_t>(i)].rhs,
-                                         config_.ordering));
+  // Initial assignment (Algorithm 5) for every class of every OFD. The
+  // partitions are built (or fetched from the shared cache) up front; the
+  // per-class assignments are independent, so they run on the pool, each
+  // writing its own pre-sized slot — deterministic for any thread count.
+  {
+    ScopedTimer t(metrics, "clean.assign.initial.seconds");
+    std::vector<std::pair<int, int>> work;  // (OFD index, class index).
+    for (int i = 0; i < n_ofds; ++i) {
+      AttrSet lhs = sigma_[static_cast<size_t>(i)].lhs;
+      if (config_.partitions != nullptr) {
+        result.partitions.push_back(*config_.partitions->Get(lhs));
+      } else {
+        result.partitions.push_back(StrippedPartition::BuildForSet(rel_, lhs));
+      }
+      size_t n_classes = result.partitions.back().classes().size();
+      result.senses[static_cast<size_t>(i)].resize(n_classes, kInvalidSense);
+      for (size_t c = 0; c < n_classes; ++c) {
+        work.emplace_back(i, static_cast<int>(c));
+      }
+    }
+    auto assign_one = [&](size_t w) {
+      auto [i, c] = work[w];
+      result.senses[static_cast<size_t>(i)][static_cast<size_t>(c)] =
+          InitialAssignment(
+              rel_, index_,
+              result.partitions[static_cast<size_t>(i)].classes()[static_cast<size_t>(c)],
+              sigma_[static_cast<size_t>(i)].rhs, config_.ordering);
+    };
+    if (config_.pool != nullptr) {
+      config_.pool->ParallelFor(work.size(), [&](size_t w, int) { assign_one(w); });
+    } else {
+      for (size_t w = 0; w < work.size(); ++w) assign_one(w);
+    }
+    if (metrics != nullptr) {
+      metrics->Add("clean.assign.classes", static_cast<int64_t>(work.size()));
     }
   }
   if (!config_.refine) return result;
@@ -196,6 +225,7 @@ SenseAssignmentResult SenseSelector::Run() {
     double initial_emd = 0.0;
   };
   std::vector<Edge> edges;
+  ScopedTimer graph_timer(metrics, "clean.assign.graph.seconds");
   for (int i = 0; i < n_ofds; ++i) {
     for (int j = i + 1; j < n_ofds; ++j) {
       if (sigma_[static_cast<size_t>(i)].rhs != sigma_[static_cast<size_t>(j)].rhs) {
@@ -230,7 +260,22 @@ SenseAssignmentResult SenseSelector::Run() {
                           Interpret(rel_, index_, e.overlap, rhs, sb));
   };
 
-  for (Edge& e : edges) e.initial_emd = edge_emd(e);
+  graph_timer.Stop();
+  // EMD edge weights are independent of one another: compute them on the
+  // pool, each into its own edge slot.
+  {
+    ScopedTimer t(metrics, "clean.assign.emd.seconds");
+    if (config_.pool != nullptr) {
+      config_.pool->ParallelFor(edges.size(), [&](size_t ei, int) {
+        edges[ei].initial_emd = edge_emd(edges[ei]);
+      });
+    } else {
+      for (Edge& e : edges) e.initial_emd = edge_emd(e);
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->Add("clean.assign.dependency_edges", static_cast<int64_t>(edges.size()));
+  }
 
   // Visit order: nodes by decreasing summed EMD (Algorithm 7).
   struct NodeKey {
@@ -261,7 +306,9 @@ SenseAssignmentResult SenseSelector::Run() {
     return x.cls < y.cls;
   });
 
-  // Local_Refinement (Algorithm 6) per node, heaviest first.
+  // Local_Refinement (Algorithm 6) per node, heaviest first. Inherently
+  // sequential: each re-assignment feeds into later edge evaluations.
+  ScopedTimer refine_timer(metrics, "clean.assign.refine.seconds");
   auto sense_of = [&](ClassRef c) -> SenseId& {
     return result.senses[static_cast<size_t>(c.ofd)][static_cast<size_t>(c.cls)];
   };
@@ -338,6 +385,10 @@ SenseAssignmentResult SenseSelector::Run() {
         }
       }
     }
+  }
+  if (metrics != nullptr) {
+    metrics->Add("clean.assign.refinements", result.refinements);
+    metrics->Add("clean.assign.edges_evaluated", result.edges_evaluated);
   }
   return result;
 }

@@ -23,6 +23,9 @@
 
 namespace fastofd {
 
+class MetricsRegistry;  // common/metrics.h
+class ThreadPool;       // exec/thread_pool.h
+
 /// How class values are ranked before the prefix-intersection search of
 /// Initial_Assignment (Algorithm 5).
 enum class ValueOrdering {
@@ -42,6 +45,15 @@ struct SenseAssignConfig {
   ValueOrdering ordering = ValueOrdering::kMadDeviation;
   /// Disable the dependency-graph local refinement (ablation).
   bool refine = true;
+  /// Shared execution pool for the per-class initial assignment and the EMD
+  /// edge weights (null = serial). Output is identical either way: parallel
+  /// stages write into pre-sized slots and results are applied in a fixed
+  /// order.
+  ThreadPool* pool = nullptr;
+  /// Optional metrics sink (`clean.assign.*` timers and counters).
+  MetricsRegistry* metrics = nullptr;
+  /// Optional shared partition cache for Π*_X (shared with verify/repair).
+  PartitionCache* partitions = nullptr;
 };
 
 /// A class within the assignment: (OFD index, class index in Π*_X).

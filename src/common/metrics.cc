@@ -1,0 +1,134 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace fastofd {
+
+namespace {
+
+std::string Fmt(const char* fmt, ...) {
+  char buf[320];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+// Minimal JSON string escaping (metric names are plain identifiers, but be
+// safe about quotes/backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d;
+  for (const auto& [name, v] : counters) {
+    auto it = earlier.counters.find(name);
+    d.counters[name] = v - (it == earlier.counters.end() ? 0 : it->second);
+  }
+  d.gauges = gauges;
+  for (const auto& [name, t] : timers) {
+    TimerStat base;
+    auto it = earlier.timers.find(name);
+    if (it != earlier.timers.end()) base = it->second;
+    d.timers[name] = TimerStat{t.seconds - base.seconds, t.count - base.count};
+  }
+  return d;
+}
+
+int64_t MetricsSnapshot::Counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::TimerSeconds(const std::string& name) const {
+  auto it = timers.find(name);
+  return it == timers.end() ? 0.0 : it->second.seconds;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  size_t width = 0;
+  for (const auto& [name, _] : counters) width = std::max(width, name.size());
+  for (const auto& [name, _] : gauges) width = std::max(width, name.size());
+  for (const auto& [name, _] : timers) width = std::max(width, name.size());
+  int w = static_cast<int>(width);
+  for (const auto& [name, v] : counters) {
+    out += Fmt("counter  %-*s  %" PRId64 "\n", w, name.c_str(), v);
+  }
+  for (const auto& [name, v] : gauges) {
+    out += Fmt("gauge    %-*s  %.6g\n", w, name.c_str(), v);
+  }
+  for (const auto& [name, t] : timers) {
+    out += Fmt("timer    %-*s  %.6fs  (%" PRId64 " intervals)\n", w,
+               name.c_str(), t.seconds, t.count);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += Fmt("%s\"%s\":%" PRId64, first ? "" : ",", JsonEscape(name).c_str(), v);
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += Fmt("%s\"%s\":%.17g", first ? "" : ",", JsonEscape(name).c_str(), v);
+    first = false;
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers) {
+    out += Fmt("%s\"%s\":{\"seconds\":%.9f,\"count\":%" PRId64 "}",
+               first ? "" : ",", JsonEscape(name).c_str(), t.seconds, t.count);
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::Add(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::AddTime(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TimerStat& t = timers_[name];
+  t.seconds += seconds;
+  ++t.count;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MetricsSnapshot{counters_, gauges_, timers_};
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+}  // namespace fastofd

@@ -1,0 +1,107 @@
+// Instrumentation substrate: a registry of named counters, gauges, and
+// wall-clock timers.
+//
+// Discovery, verification, and cleaning all record their telemetry here
+// (naming scheme: `<phase>.<metric>`, e.g. `discover.candidates_checked`,
+// `partition_cache.hits`, `clean.refine.seconds`) so the CLI and the bench
+// harnesses report from one source of truth instead of hand-threading
+// counters through result structs. The result structs keep convenience
+// copies, filled from the registry at the end of a run.
+//
+// Thread-safe: a single mutex guards the maps. Hot loops should accumulate
+// locally (per-worker scratch) and flush once, as the discovery code does.
+
+#ifndef FASTOFD_COMMON_METRICS_H_
+#define FASTOFD_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/timer.h"
+
+namespace fastofd {
+
+/// Accumulated wall-clock time for one named timer.
+struct TimerStat {
+  double seconds = 0.0;
+  int64_t count = 0;
+
+  friend bool operator==(const TimerStat& a, const TimerStat& b) {
+    return a.seconds == b.seconds && a.count == b.count;
+  }
+};
+
+/// A point-in-time copy of a registry, with a diff for measuring one phase.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+
+  /// Counter/timer deltas since `earlier`; gauges keep this snapshot's value.
+  MetricsSnapshot Diff(const MetricsSnapshot& earlier) const;
+
+  /// Counter value (0 when absent).
+  int64_t Counter(const std::string& name) const;
+  /// Accumulated timer seconds (0 when absent).
+  double TimerSeconds(const std::string& name) const;
+
+  /// Aligned `kind name value` lines, sorted by name within kind.
+  std::string ToText() const;
+  /// `{"counters":{...},"gauges":{...},"timers":{name:{seconds,count}}}`.
+  std::string ToJson() const;
+};
+
+/// Registry of named metrics shared across pipeline phases.
+class MetricsRegistry {
+ public:
+  /// Adds `delta` to a counter, creating it at zero first. Add(name, 0)
+  /// registers a counter so it appears in dumps before first use.
+  void Add(const std::string& name, int64_t delta);
+
+  /// Sets a gauge to an instantaneous value.
+  void Set(const std::string& name, double value);
+
+  /// Accumulates one timed interval into a named timer.
+  void AddTime(const std::string& name, double seconds);
+
+  MetricsSnapshot Snapshot() const;
+  std::string ToText() const { return Snapshot().ToText(); }
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, TimerStat> timers_;
+};
+
+/// RAII wall-clock timer: records elapsed seconds into `registry` on
+/// destruction (or Stop()). Null registry makes it a no-op.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records the interval now instead of at scope exit.
+  void Stop() {
+    if (registry_ != nullptr) registry_->AddTime(name_, timer_.Seconds());
+    registry_ = nullptr;
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_METRICS_H_

@@ -1,18 +1,27 @@
 #include "discovery/fastofd.h"
 
 #include <algorithm>
-#include <atomic>
 #include <bit>
-#include <thread>
+#include <cstdio>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/timer.h"
+#include "exec/thread_pool.h"
 
 namespace fastofd {
 
 namespace {
+
+// Metric name for a per-level timer: discover.level03.seconds.
+std::string LevelTimerName(int level) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "discover.level%02d.seconds", level);
+  return buf;
+}
 
 // A lattice node: the stripped partition of its attribute set plus the
 // candidate consequents C+(X).
@@ -41,6 +50,27 @@ FastOfdResult FastOfd::Discover() {
   const int n = rel_.num_attrs();
   const AttrSet all = AttrSet::All(n);
   FastOfdResult result;
+
+  // Execution & instrumentation substrate: one pool for the whole run
+  // (validation and partition products, every level), one registry as the
+  // single source of truth for telemetry. Both may be shared by the caller.
+  MetricsRegistry local_metrics;
+  MetricsRegistry& metrics =
+      config_.metrics != nullptr ? *config_.metrics : local_metrics;
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = config_.pool;
+  if (pool == nullptr) {
+    owned_pool.emplace(config_.num_threads);
+    pool = &*owned_pool;
+  }
+  ScopedTimer discover_timer(&metrics, "discover.seconds");
+
+  // Base (≤1-attribute) partitions go through the shared cache when one is
+  // provided, so verify/clean phases over the same relation reuse them.
+  auto base_partition = [&](AttrSet attrs) -> StrippedPartition {
+    if (config_.partitions != nullptr) return *config_.partitions->Get(attrs);
+    return StrippedPartition::BuildForSet(rel_, attrs);
+  };
 
   // Per-thread scratch for candidate validation.
   struct Scratch {
@@ -113,7 +143,7 @@ FastOfdResult FastOfd::Discover() {
   Level prev;
   {
     Node empty;
-    empty.partition = StrippedPartition::BuildForSet(rel_, AttrSet());
+    empty.partition = base_partition(AttrSet());
     empty.superkey = empty.partition.IsSuperkey();
     empty.cand = all;
     prev.emplace(AttrSet(), std::move(empty));
@@ -123,7 +153,7 @@ FastOfdResult FastOfd::Discover() {
   Level cur;
   for (AttrId a = 0; a < n; ++a) {
     Node node;
-    node.partition = StrippedPartition::Build(rel_, a);
+    node.partition = base_partition(AttrSet::Single(a));
     node.superkey = node.partition.IsSuperkey();
     node.cand = all;
     cur.emplace(AttrSet::Single(a), std::move(node));
@@ -178,32 +208,18 @@ FastOfdResult FastOfd::Discover() {
     stats.candidates_checked = static_cast<int64_t>(candidates.size());
 
     std::vector<char> valid(candidates.size());
-    int threads = std::max(1, config_.num_threads);
-    if (threads <= 1 || candidates.size() < 2) {
-      Scratch scratch;
-      for (size_t i = 0; i < candidates.size(); ++i) {
+    {
+      ScopedTimer validate_timer(&metrics, "discover.validate.seconds");
+      std::vector<Scratch> scratches(static_cast<size_t>(pool->num_threads()));
+      pool->ParallelFor(candidates.size(), [&](size_t i, int worker) {
         valid[i] = candidate_valid(*candidates[i].lhs_partition,
-                                   candidates[i].node->partition, candidates[i].a,
-                                   scratch);
+                                   candidates[i].node->partition,
+                                   candidates[i].a,
+                                   scratches[static_cast<size_t>(worker)]);
+      });
+      for (const Scratch& s : scratches) {
+        result.values_scanned += s.values_scanned;
       }
-      result.values_scanned += scratch.values_scanned;
-    } else {
-      std::vector<std::thread> pool;
-      std::vector<Scratch> scratches(static_cast<size_t>(threads));
-      std::atomic<size_t> next_index{0};
-      for (int t = 0; t < threads; ++t) {
-        pool.emplace_back([&, t] {
-          Scratch& scratch = scratches[static_cast<size_t>(t)];
-          size_t i;
-          while ((i = next_index.fetch_add(1)) < candidates.size()) {
-            valid[i] = candidate_valid(*candidates[i].lhs_partition,
-                                       candidates[i].node->partition,
-                                       candidates[i].a, scratch);
-          }
-        });
-      }
-      for (auto& th : pool) th.join();
-      for (const Scratch& s : scratches) result.values_scanned += s.values_scanned;
     }
 
     for (size_t i = 0; i < candidates.size(); ++i) {
@@ -278,36 +294,23 @@ FastOfdResult FastOfd::Discover() {
         }
       }
       result.partition_products += static_cast<int64_t>(pending.size());
-      int threads = std::max(1, config_.num_threads);
-      if (threads <= 1 || pending.size() < 2) {
-        for (const Pending& p : pending) {
-          Node& node = next.at(p.combined);
-          node.partition =
-              StrippedPartition::Product(p.left->partition, p.right->partition);
-          node.superkey = node.partition.IsSuperkey();
-        }
-      } else {
-        // `next` is not resized after this point, so per-element writes from
-        // different threads are safe.
-        std::vector<std::thread> pool;
-        std::atomic<size_t> next_index{0};
-        for (int t = 0; t < threads; ++t) {
-          pool.emplace_back([&] {
-            size_t i;
-            while ((i = next_index.fetch_add(1)) < pending.size()) {
-              const Pending& p = pending[i];
-              Node& node = next.at(p.combined);
-              node.partition = StrippedPartition::Product(p.left->partition,
-                                                          p.right->partition);
-              node.superkey = node.partition.IsSuperkey();
-            }
-          });
-        }
-        for (auto& th : pool) th.join();
-      }
+      // `next` is not resized after this point, so per-element writes from
+      // different workers are safe.
+      ScopedTimer products_timer(&metrics, "discover.products.seconds");
+      pool->ParallelFor(pending.size(), [&](size_t i, int) {
+        const Pending& p = pending[i];
+        Node& node = next.at(p.combined);
+        node.partition =
+            StrippedPartition::Product(p.left->partition, p.right->partition);
+        node.superkey = node.partition.IsSuperkey();
+      });
     }
 
     stats.seconds = timer.Seconds();
+    metrics.AddTime(LevelTimerName(level), stats.seconds);
+    metrics.Add("discover.nodes", stats.nodes);
+    metrics.Add("discover.candidates_checked", stats.candidates_checked);
+    metrics.Add("discover.ofds_found", stats.ofds_found);
     result.candidates_checked += stats.candidates_checked;
     result.level_stats.push_back(stats);
     prev = std::move(cur);
@@ -316,6 +319,9 @@ FastOfdResult FastOfd::Discover() {
   }
 
   std::sort(result.ofds.begin(), result.ofds.end());
+  metrics.Add("discover.levels", static_cast<int64_t>(result.level_stats.size()));
+  metrics.Add("discover.values_scanned", result.values_scanned);
+  metrics.Add("discover.partition_products", result.partition_products);
   return result;
 }
 

@@ -29,6 +29,9 @@
 
 namespace fastofd {
 
+class MetricsRegistry;  // common/metrics.h
+class ThreadPool;       // exec/thread_pool.h
+
 /// Tunables for FastOFD; defaults reproduce the paper's configuration.
 struct FastOfdConfig {
   /// Opt-2: prune candidates via C+(X) (augmentation). Disabling verifies
@@ -47,10 +50,20 @@ struct FastOfdConfig {
   OfdKind kind = OfdKind::kSynonym;
   /// Ancestor-distance bound for inheritance OFDs.
   int theta = 2;
-  /// Worker threads for candidate verification within a level (1 = serial).
-  /// Output is identical regardless of thread count (validation results are
-  /// applied in a deterministic order).
+  /// Worker threads for candidate validation and partition products
+  /// (1 = serial). Output is identical regardless of thread count
+  /// (validation results are applied in a deterministic order).
   int num_threads = 1;
+  /// Shared execution pool. When null, Discover() creates its own
+  /// `num_threads`-wide pool once and reuses it across all levels and
+  /// phases; when set, `num_threads` is ignored and this pool is used.
+  ThreadPool* pool = nullptr;
+  /// Optional metrics sink (`discover.*` counters and timers). When null,
+  /// an internal registry still feeds the FastOfdResult telemetry fields.
+  MetricsRegistry* metrics = nullptr;
+  /// Optional shared cache for the base (≤1-attribute) partitions, so a
+  /// later verify/clean phase over the same relation reuses them.
+  PartitionCache* partitions = nullptr;
 };
 
 /// Per-level telemetry (Exp-4: OFDs found / time per lattice level).

@@ -1,0 +1,81 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(int worker) {
+  size_t i;
+  while ((i = next_index_.fetch_add(chunk_size_, std::memory_order_relaxed)) <
+         job_size_) {
+    size_t end = std::min(job_size_, i + chunk_size_);
+    for (; i < end; ++i) (*body_)(i, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    RunChunks(worker);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, int)>& body) {
+  if (n == 0) return;
+  if (num_threads_ <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    FASTOFD_CHECK(body_ == nullptr);  // ParallelFor must not be nested.
+    body_ = &body;
+    job_size_ = n;
+    // Several chunks per worker for load balance without contention on the
+    // shared index counter.
+    chunk_size_ = std::max<size_t>(
+        1, n / (static_cast<size_t>(num_threads_) * 8));
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks(/*worker=*/0);  // The caller participates as worker 0.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+    body_ = nullptr;
+    job_size_ = 0;
+  }
+}
+
+}  // namespace fastofd

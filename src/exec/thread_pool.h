@@ -1,0 +1,77 @@
+// Shared execution substrate: a persistent worker pool.
+//
+// Every compute-heavy phase (candidate validation, partition products,
+// sense assignment, EMD edge weights, conflict-graph construction) runs on
+// one ThreadPool created once per Discover()/Clean() invocation — or shared
+// across invocations by the caller — instead of spawning and joining fresh
+// std::threads per lattice level. The house determinism contract: work items
+// are *computed* in parallel into pre-sized slots and *applied* sequentially
+// in a fixed order, so output is byte-identical for any thread count.
+
+#ifndef FASTOFD_EXEC_THREAD_POOL_H_
+#define FASTOFD_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fastofd {
+
+/// A fixed-size pool of persistent workers with chunked parallel-for
+/// dispatch. Construction spawns `num_threads - 1` workers; the calling
+/// thread participates in every ParallelFor as worker 0, so concurrency is
+/// exactly `num_threads`. With num_threads <= 1 no threads are spawned and
+/// ParallelFor degenerates to an inline serial loop.
+///
+/// ParallelFor calls must not be nested (one job at a time per pool).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total worker count (including the calling thread), always >= 1.
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(index, worker) for every index in [0, n), distributing
+  /// contiguous chunks over the workers; blocks until all indices complete.
+  /// `worker` is in [0, num_threads()) — use it to index per-thread scratch.
+  /// The body must not touch shared mutable state without synchronization;
+  /// writing to a distinct slot per index is the intended pattern.
+  void ParallelFor(size_t n, const std::function<void(size_t index, int worker)>& body);
+
+  /// A reasonable default worker count for this machine.
+  static int DefaultThreads() {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+ private:
+  void WorkerLoop(int worker);
+  // Claims chunks of the current job until indices are exhausted.
+  void RunChunks(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: new job or stop.
+  std::condition_variable done_cv_;   // Signals the caller: job finished.
+  const std::function<void(size_t, int)>* body_ = nullptr;
+  size_t job_size_ = 0;
+  size_t chunk_size_ = 1;
+  uint64_t epoch_ = 0;                // Bumped per job; workers wait on it.
+  int active_workers_ = 0;            // Workers still inside the current job.
+  std::atomic<size_t> next_index_{0};
+  bool stop_ = false;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_EXEC_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace fastofd {
 
@@ -80,20 +81,118 @@ StrippedPartition StrippedPartition::Product(const StrippedPartition& a,
   return out;
 }
 
-const StrippedPartition& PartitionCache::Get(AttrSet attrs) {
-  auto it = cache_.find(attrs);
-  if (it != cache_.end()) return it->second;
-  StrippedPartition p;
+PartitionCache::PartitionCache(const Relation& rel, int64_t budget_bytes,
+                               MetricsRegistry* metrics)
+    : rel_(rel), budget_bytes_(budget_bytes), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    // Register the counters at zero so every metrics dump includes them.
+    metrics_->Add("partition_cache.hits", 0);
+    metrics_->Add("partition_cache.misses", 0);
+    metrics_->Add("partition_cache.evictions", 0);
+    std::lock_guard<std::mutex> lock(mu_);
+    PublishGaugesLocked();
+  }
+}
+
+int64_t PartitionCache::FootprintBytes(const StrippedPartition& p) {
+  return static_cast<int64_t>(sizeof(StrippedPartition)) +
+         p.num_classes() * static_cast<int64_t>(sizeof(std::vector<RowId>)) +
+         p.sum_sizes() * static_cast<int64_t>(sizeof(RowId));
+}
+
+void PartitionCache::PublishGaugesLocked() {
+  if (metrics_ == nullptr) return;
+  metrics_->Set("partition_cache.bytes", static_cast<double>(bytes_));
+  metrics_->Set("partition_cache.entries", static_cast<double>(cache_.size()));
+  if (budget_bytes_ != kUnbounded) {
+    metrics_->Set("partition_cache.budget_bytes",
+                  static_cast<double>(budget_bytes_));
+  }
+}
+
+void PartitionCache::EvictToBudgetLocked(AttrSet keep) {
+  while (bytes_ > budget_bytes_ && !lru_.empty()) {
+    AttrSet victim = lru_.back();
+    if (victim == keep) break;  // Never evict the entry just inserted.
+    auto it = cache_.find(victim);
+    bytes_ -= it->second.bytes;
+    lru_.pop_back();
+    cache_.erase(it);
+    ++evictions_;
+    if (metrics_ != nullptr) metrics_->Add("partition_cache.evictions", 1);
+  }
+}
+
+std::shared_ptr<const StrippedPartition> PartitionCache::Get(AttrSet attrs) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(attrs);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // Mark as MRU.
+      ++hits_;
+      if (metrics_ != nullptr) metrics_->Add("partition_cache.hits", 1);
+      return it->second.partition;
+    }
+    ++misses_;
+    if (metrics_ != nullptr) metrics_->Add("partition_cache.misses", 1);
+  }
+
+  // Compute outside the lock; prefixes go through the cache recursively.
+  StrippedPartition computed;
   if (attrs.size() <= 1) {
-    p = StrippedPartition::BuildForSet(rel_, attrs);
+    computed = StrippedPartition::BuildForSet(rel_, attrs);
   } else {
     AttrId first = attrs.First();
-    const StrippedPartition& rest = Get(attrs.Without(first));
-    // Note: Get() may rehash cache_, so re-fetch nothing after this point.
-    StrippedPartition single = StrippedPartition::Build(rel_, first);
-    p = StrippedPartition::Product(rest, single);
+    std::shared_ptr<const StrippedPartition> rest = Get(attrs.Without(first));
+    computed = StrippedPartition::Product(*rest,
+                                          StrippedPartition::Build(rel_, first));
   }
-  return cache_.emplace(attrs, std::move(p)).first->second;
+  auto p = std::make_shared<const StrippedPartition>(std::move(computed));
+  int64_t cost = FootprintBytes(*p);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(attrs);
+  if (it != cache_.end()) return it->second.partition;  // Raced: keep theirs.
+  if (cost > budget_bytes_) return p;  // Oversized: serve uncached.
+  lru_.push_front(attrs);
+  cache_.emplace(attrs, Entry{p, cost, lru_.begin()});
+  bytes_ += cost;
+  EvictToBudgetLocked(attrs);
+  PublishGaugesLocked();
+  return p;
+}
+
+void PartitionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  PublishGaugesLocked();
+}
+
+size_t PartitionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+int64_t PartitionCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t PartitionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PartitionCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t PartitionCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace fastofd

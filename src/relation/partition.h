@@ -10,6 +10,10 @@
 #define FASTOFD_RELATION_PARTITION_H_
 
 #include <cstdint>
+#include <limits>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -77,25 +81,70 @@ inline bool FdHolds(const StrippedPartition& x, const StrippedPartition& xa) {
   return x.error() == xa.error();
 }
 
-/// Memoizing store of stripped partitions keyed by attribute set.
+class MetricsRegistry;  // common/metrics.h
+
+/// Memory-budgeted, LRU-evicting store of stripped partitions keyed by
+/// attribute set, shared across the verify and clean phases (and, via
+/// `FastOfdConfig::partitions`, the base partitions of discovery).
 ///
-/// Intended for the cleaning / verification paths that revisit a modest
-/// number of attribute sets; the discovery algorithms manage their own
-/// two-level working set instead. Unbounded; call Clear() between phases.
+/// Entries are charged by their stripped-partition footprint — dominated by
+/// ||Π*|| row-id slots — and the least-recently-used entries are evicted
+/// once the byte budget is exceeded. Get() returns a shared_ptr so a caller
+/// can keep using a partition after it has been evicted; re-fetching an
+/// evicted set simply recomputes it (a miss). Thread-safe: a mutex guards
+/// the map, and computation happens outside the lock.
+///
+/// Hit/miss/eviction counts and the current byte footprint are recorded in
+/// an optional MetricsRegistry under `partition_cache.*`.
 class PartitionCache {
  public:
-  explicit PartitionCache(const Relation& rel) : rel_(rel) {}
+  static constexpr int64_t kUnbounded = std::numeric_limits<int64_t>::max();
+
+  explicit PartitionCache(const Relation& rel,
+                          int64_t budget_bytes = kUnbounded,
+                          MetricsRegistry* metrics = nullptr);
 
   /// Returns the stripped partition for `attrs`, computing (and caching)
-  /// it and any missing prefixes on demand.
-  const StrippedPartition& Get(AttrSet attrs);
+  /// it and any missing prefixes on demand. A partition whose footprint
+  /// alone exceeds the budget is returned but not retained.
+  std::shared_ptr<const StrippedPartition> Get(AttrSet attrs);
 
-  void Clear() { cache_.clear(); }
-  size_t size() const { return cache_.size(); }
+  /// Approximate heap footprint of a stripped partition, in bytes.
+  static int64_t FootprintBytes(const StrippedPartition& p);
+
+  void Clear();
+  size_t size() const;
+  /// Current total footprint of the cached entries, in bytes.
+  int64_t bytes() const;
+  int64_t budget_bytes() const { return budget_bytes_; }
+
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const StrippedPartition> partition;
+    int64_t bytes = 0;
+    std::list<AttrSet>::iterator lru_it;  // Position in lru_ (front = MRU).
+  };
+
+  // Evicts LRU entries (never `keep`) until the budget is respected.
+  // Requires mu_ held.
+  void EvictToBudgetLocked(AttrSet keep);
+  void PublishGaugesLocked();
+
   const Relation& rel_;
-  std::unordered_map<AttrSet, StrippedPartition, AttrSetHash> cache_;
+  const int64_t budget_bytes_;
+  MetricsRegistry* const metrics_;
+
+  mutable std::mutex mu_;
+  std::list<AttrSet> lru_;  // Front = most recently used.
+  std::unordered_map<AttrSet, Entry, AttrSetHash> cache_;
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace fastofd

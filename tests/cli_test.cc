@@ -35,6 +35,21 @@ int RunCli(const std::string& args, std::string* output = nullptr) {
   return WEXITSTATUS(rc);
 }
 
+// Like RunCli, but captures stderr (where --metrics dumps go) instead of
+// discarding it.
+int RunCliCaptureStderr(const std::string& args, std::string* err_output) {
+  std::string out_file = TempDir() + "/out.txt";
+  std::string err_file = TempDir() + "/err.txt";
+  std::string cmd = std::string(FASTOFD_CLI_BIN) + " " + args + " > " + out_file +
+                    " 2> " + err_file;
+  int rc = std::system(cmd.c_str());
+  std::ifstream in(err_file);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *err_output = buf.str();
+  return WEXITSTATUS(rc);
+}
+
 TEST(CliTest, UsageOnNoCommand) {
   EXPECT_EQ(RunCli(""), 2);
   EXPECT_EQ(RunCli("bogus"), 2);
@@ -78,6 +93,42 @@ TEST(CliTest, GenDiscoverVerifyCleanPipeline) {
                 " --sigma " + sigma, &out),
             0);
   EXPECT_EQ(out.find("VIOLATED"), std::string::npos);
+}
+
+TEST(CliTest, MetricsDumpOnStderr) {
+  std::string dir = TempDir();
+  std::string data = dir + "/m.csv";
+  std::string ont = dir + "/mo.txt";
+  std::string sigma = dir + "/ms.txt";
+  ASSERT_EQ(RunCli("gen --rows 200 --seed 7 --out " + data + " --ontology-out " +
+                ont + " --sigma-out " + sigma),
+            0);
+
+  // Text dump: per-level timers and the partition-cache counters.
+  std::string err;
+  ASSERT_EQ(RunCliCaptureStderr("discover --data " + data + " --ontology " + ont +
+                " --threads 2 --metrics", &err),
+            0);
+  EXPECT_NE(err.find("discover.seconds"), std::string::npos);
+  EXPECT_NE(err.find("discover.level"), std::string::npos);
+  EXPECT_NE(err.find("partition_cache.hits"), std::string::npos);
+  EXPECT_NE(err.find("partition_cache.misses"), std::string::npos);
+  EXPECT_NE(err.find("partition_cache.evictions"), std::string::npos);
+
+  // JSON dump: one object with the three metric sections.
+  ASSERT_EQ(RunCliCaptureStderr("discover --data " + data + " --ontology " + ont +
+                " --metrics=json", &err),
+            0);
+  EXPECT_EQ(err.front(), '{');
+  EXPECT_NE(err.find("\"counters\""), std::string::npos);
+  EXPECT_NE(err.find("\"timers\""), std::string::npos);
+  EXPECT_NE(err.find("\"partition_cache.hits\""), std::string::npos);
+
+  // Without --metrics, stderr stays clean.
+  ASSERT_EQ(RunCliCaptureStderr("discover --data " + data + " --ontology " + ont,
+                &err),
+            0);
+  EXPECT_EQ(err.find("discover.seconds"), std::string::npos);
 }
 
 TEST(CliTest, MissingInputsFail) {

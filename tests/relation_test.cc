@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -240,13 +241,91 @@ TEST(PartitionCacheTest, CachesAndMatchesDirect) {
   Relation rel = MakeTable1();
   PartitionCache cache(rel);
   AttrSet s = AttrSet::Of({0, 2, 4});
-  const StrippedPartition& p = cache.Get(s);
-  EXPECT_EQ(AsSets(p), ReferenceStripped(rel, s));
-  size_t size_after_first = cache.size();
+  std::shared_ptr<const StrippedPartition> p = cache.Get(s);
+  EXPECT_EQ(AsSets(*p), ReferenceStripped(rel, s));
+  size_t size_after_first = cache.size();  // Includes recursive prefixes.
+  EXPECT_GE(size_after_first, 1u);
+  int64_t misses_after_first = cache.misses();
   cache.Get(s);
   EXPECT_EQ(cache.size(), size_after_first);  // No recomputation.
+  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_EQ(cache.hits(), 1);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0);
+}
+
+int64_t Footprint(const Relation& rel, AttrSet attrs) {
+  return PartitionCache::FootprintBytes(
+      StrippedPartition::BuildForSet(rel, attrs));
+}
+
+TEST(PartitionCacheTest, LruEvictionOrder) {
+  Relation rel = MakeTable1();
+  AttrSet a = AttrSet::Of({0});  // CC
+  AttrSet b = AttrSet::Of({2});  // SYMP
+  AttrSet c = AttrSet::Of({3});  // TEST
+  // Budget admits any two of the three partitions, never all three.
+  PartitionCache cache(
+      rel, Footprint(rel, a) + Footprint(rel, b) + Footprint(rel, c) - 1);
+
+  cache.Get(a);
+  cache.Get(b);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Get(a);  // Touch: a becomes most-recently-used.
+  EXPECT_EQ(cache.hits(), 1);
+  cache.Get(c);  // Over budget: evicts b — the LRU entry — not a.
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+  cache.Get(a);
+  EXPECT_EQ(cache.hits(), 2);  // a survived the eviction.
+  cache.Get(b);
+  EXPECT_EQ(cache.misses(), 4);  // b did not.
+}
+
+TEST(PartitionCacheTest, OversizedServedUncached) {
+  Relation rel = MakeTable1();
+  PartitionCache cache(rel, 1);  // Nothing fits.
+  AttrSet s = AttrSet::Of({0, 2});
+  std::shared_ptr<const StrippedPartition> p = cache.Get(s);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(AsSets(*p), ReferenceStripped(rel, s));  // Correct even uncached.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0);
+  EXPECT_EQ(cache.evictions(), 0);  // Serving uncached is not an eviction.
+}
+
+TEST(PartitionCacheTest, BudgetInvariantUnderSweep) {
+  Relation rel = MakeTable1();
+  // A budget that retains some partitions but forces steady eviction.
+  PartitionCache cache(rel, 4 * Footprint(rel, AttrSet::Of({5})));
+  for (uint64_t mask = 1; mask < 32; ++mask) {
+    AttrSet s = AttrSet::FromMask(mask);
+    std::shared_ptr<const StrippedPartition> p = cache.Get(s);
+    EXPECT_EQ(AsSets(*p), ReferenceStripped(rel, s)) << "mask " << mask;
+    EXPECT_LE(cache.bytes(), cache.budget_bytes());
+  }
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+TEST(PartitionCacheTest, RefetchAfterEvictionMatches) {
+  Relation rel = MakeTable1();
+  AttrSet a = AttrSet::Of({1});  // CTRY
+  AttrSet b = AttrSet::Of({4});  // DIAG
+  // Budget holds exactly one of the two entries at a time.
+  PartitionCache cache(rel, std::max(Footprint(rel, a), Footprint(rel, b)));
+  std::shared_ptr<const StrippedPartition> held = cache.Get(a);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Get(b);  // Evicts a.
+  EXPECT_EQ(cache.evictions(), 1);
+  // The pointer held across the eviction stays valid...
+  EXPECT_EQ(AsSets(*held), ReferenceStripped(rel, a));
+  // ...and a re-fetch recomputes the identical partition.
+  std::shared_ptr<const StrippedPartition> again = cache.Get(a);
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_NE(again.get(), held.get());
+  EXPECT_EQ(AsSets(*again), ReferenceStripped(rel, a));
 }
 
 }  // namespace

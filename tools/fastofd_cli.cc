@@ -15,14 +15,30 @@
 //   fastofd gen --rows N [--senses K] [--err RATE] [--inc RATE]
 //               [--out data.csv] [--ontology-out o.txt] [--sigma-out s.txt]
 //       Generate a synthetic instance (data + ontology + Σ + ground truth).
+//
+// Flags common to all four subcommands:
+//   --threads N        worker threads for the shared execution pool
+//                      (default 1; 0 = all hardware threads). Output is
+//                      identical for any thread count. `gen` accepts the
+//                      flag for symmetry but generation itself is serial.
+//   --metrics[=json]   after the run, dump the metrics registry (counters,
+//                      gauges, timers — including partition-cache
+//                      hit/miss/eviction counts and per-level timers) to
+//                      stderr as aligned text, or as JSON with `=json`.
+//   --cache-mb M       memory budget for the shared stripped-partition
+//                      cache in MiB (default 256; 0 = unbounded). Least
+//                      recently used partitions are evicted beyond it.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "clean/repair.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "datagen/datagen.h"
 #include "discovery/fastofd.h"
+#include "exec/thread_pool.h"
 #include "ofd/sigma_io.h"
 #include "ofd/verifier.h"
 #include "ontology/ontology.h"
@@ -36,9 +52,41 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: fastofd <discover|verify|clean|gen> [flags]\n"
+               "common flags: --threads N, --metrics[=json], --cache-mb M\n"
                "see the header of tools/fastofd_cli.cc for details\n");
   return 2;
 }
+
+// Shared execution & instrumentation context, built from the common flags.
+struct ExecContext {
+  explicit ExecContext(const Flags& flags)
+      : pool(ResolveThreads(flags)),
+        cache_budget(ResolveCacheBudget(flags)),
+        metrics_mode(flags.GetString("metrics", "")) {}
+
+  static int ResolveThreads(const Flags& flags) {
+    int threads = static_cast<int>(flags.GetInt("threads", 1));
+    return threads <= 0 ? ThreadPool::DefaultThreads() : threads;
+  }
+
+  static int64_t ResolveCacheBudget(const Flags& flags) {
+    int64_t mb = flags.GetInt("cache-mb", 256);
+    return mb <= 0 ? PartitionCache::kUnbounded : mb * (int64_t{1} << 20);
+  }
+
+  /// Dumps the registry to stderr if --metrics was given.
+  void Report() const {
+    if (metrics_mode.empty()) return;
+    std::string dump =
+        metrics_mode == "json" ? metrics.ToJson() + "\n" : metrics.ToText();
+    std::fputs(dump.c_str(), stderr);
+  }
+
+  MetricsRegistry metrics;
+  ThreadPool pool;
+  int64_t cache_budget;
+  std::string metrics_mode;
+};
 
 // Loads --data and --ontology; returns false (after printing) on failure.
 bool LoadInputs(const Flags& flags, Relation* rel, Ontology* ontology) {
@@ -72,17 +120,23 @@ int RunDiscover(const Flags& flags) {
   Relation rel;
   Ontology ontology;
   if (!LoadInputs(flags, &rel, &ontology)) return 1;
+  ExecContext exec(flags);
+  PartitionCache cache(rel, exec.cache_budget, &exec.metrics);
   SynonymIndex index(ontology, rel.dict());
   FastOfdConfig config;
   config.min_support = flags.GetDouble("kappa", 1.0);
   config.max_level = static_cast<int>(flags.GetInt("max-level", 64));
   if (flags.GetBool("inh", false)) config.kind = OfdKind::kInheritance;
   config.theta = static_cast<int>(flags.GetInt("theta", 2));
+  config.pool = &exec.pool;
+  config.metrics = &exec.metrics;
+  config.partitions = &cache;
   FastOfdResult result =
       FastOfd(rel, index, config, config.kind == OfdKind::kInheritance
                                       ? &ontology
                                       : nullptr)
           .Discover();
+  exec.Report();
   std::fprintf(stderr, "%zu minimal OFDs (%lld candidates checked)\n",
                result.ofds.size(),
                static_cast<long long>(result.candidates_checked));
@@ -111,20 +165,47 @@ int RunVerify(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", sigma.status().message().c_str());
     return 1;
   }
+  ExecContext exec(flags);
+  PartitionCache cache(rel, exec.cache_budget, &exec.metrics);
   SynonymIndex index(ontology, rel.dict());
   OfdVerifier verifier(rel, index, &ontology,
                        static_cast<int>(flags.GetInt("theta", 2)));
-  int violated = 0;
-  for (const Ofd& ofd : sigma.value()) {
-    StrippedPartition p = StrippedPartition::BuildForSet(rel, ofd.lhs);
-    bool holds = verifier.Holds(ofd, p);
-    double support =
-        ofd.kind == OfdKind::kSynonym ? verifier.Support(ofd, p) : (holds ? 1 : 0);
-    std::printf("%-40s %-9s support=%.4f\n",
-                RenderOfd(ofd, rel.schema()).c_str(),
-                holds ? "satisfied" : "VIOLATED", support);
-    violated += !holds;
+  const SigmaSet& ofds = sigma.value();
+
+  // Checks of distinct OFDs are independent: compute them on the pool (the
+  // partition cache is thread-safe and shares prefixes across OFDs), then
+  // print in Σ order so output is identical for any thread count.
+  struct Check {
+    bool holds = false;
+    double support = 0.0;
+    SynonymSavings savings;
+  };
+  std::vector<Check> checks(ofds.size());
+  {
+    ScopedTimer t(&exec.metrics, "verify.seconds");
+    exec.pool.ParallelFor(ofds.size(), [&](size_t i, int) {
+      const Ofd& ofd = ofds[i];
+      std::shared_ptr<const StrippedPartition> p = cache.Get(ofd.lhs);
+      Check& check = checks[i];
+      check.holds = verifier.Holds(ofd, *p);
+      check.support = ofd.kind == OfdKind::kSynonym ? verifier.Support(ofd, *p)
+                                                    : (check.holds ? 1 : 0);
+      check.savings = verifier.Savings(ofd, *p);
+    });
   }
+  int violated = 0;
+  for (size_t i = 0; i < ofds.size(); ++i) {
+    std::printf("%-40s %-9s support=%.4f\n",
+                RenderOfd(ofds[i], rel.schema()).c_str(),
+                checks[i].holds ? "satisfied" : "VIOLATED", checks[i].support);
+    violated += !checks[i].holds;
+    exec.metrics.Add("verify.classes", checks[i].savings.classes);
+    exec.metrics.Add("verify.synonym_classes", checks[i].savings.synonym_classes);
+    exec.metrics.Add("verify.saved_tuples", checks[i].savings.saved_tuples);
+  }
+  exec.metrics.Add("verify.ofds_checked", static_cast<int64_t>(ofds.size()));
+  exec.metrics.Add("verify.violations", violated);
+  exec.Report();
   return violated == 0 ? 0 : 3;
 }
 
@@ -137,11 +218,17 @@ int RunClean(const Flags& flags) {
     std::fprintf(stderr, "error: %s\n", sigma.status().message().c_str());
     return 1;
   }
+  ExecContext exec(flags);
+  PartitionCache cache(rel, exec.cache_budget, &exec.metrics);
   OfdCleanConfig config;
   config.beam_size = static_cast<int>(flags.GetInt("beam", 0));
   config.tau = flags.GetDouble("tau", 0.65);
+  config.pool = &exec.pool;
+  config.metrics = &exec.metrics;
+  config.partitions = &cache;
   OfdClean cleaner(rel, ontology, sigma.value(), config);
   OfdCleanResult result = cleaner.Run();
+  exec.Report();
 
   std::printf("Pareto frontier (ontology insertions, data changes):\n");
   for (const ParetoPoint& p : result.pareto) {
@@ -182,6 +269,9 @@ int RunClean(const Flags& flags) {
 }
 
 int RunGen(const Flags& flags) {
+  // --threads is accepted for flag symmetry; generation itself is a serial
+  // seeded stream (parallelizing it would change the instance).
+  ExecContext exec(flags);
   DataGenConfig config;
   config.num_rows = static_cast<int>(flags.GetInt("rows", 1000));
   config.num_antecedents = static_cast<int>(flags.GetInt("antecedents", 2));
@@ -190,7 +280,13 @@ int RunGen(const Flags& flags) {
   config.error_rate = flags.GetDouble("err", 0.03);
   config.incompleteness_rate = flags.GetDouble("inc", 0.0);
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  ScopedTimer gen_timer(&exec.metrics, "gen.seconds");
   GeneratedData data = GenerateData(config);
+  gen_timer.Stop();
+  exec.metrics.Add("gen.rows", data.rel.num_rows());
+  exec.metrics.Add("gen.errors", static_cast<int64_t>(data.errors.size()));
+  exec.metrics.Add("gen.removed_values",
+                   static_cast<int64_t>(data.removed_values.size()));
   std::fprintf(stderr, "generated %d rows, %zu errors, %zu removed values\n",
                data.rel.num_rows(), data.errors.size(),
                data.removed_values.size());
@@ -211,6 +307,7 @@ int RunGen(const Flags& flags) {
                   WriteSigma(data.sigma, data.rel.schema()))) {
     return 1;
   }
+  exec.Report();
   return 0;
 }
 
