@@ -11,9 +11,11 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/timer.h"
 
 namespace fastofd::bench {
@@ -70,10 +72,79 @@ class Table {
     std::printf("\n");
   }
 
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// JSON-escapes a table cell; cells that parse completely as numbers are
+/// emitted raw so downstream tooling gets real numbers, not strings.
+inline std::string JsonCell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() && *end == '\0' && cell != "nan" && cell != "inf") {
+      return cell;
+    }
+  }
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Serializes a table as {"bench": id, "columns": [...], "rows": [[...]]}.
+inline std::string TableJson(const std::string& id, const Table& table) {
+  std::string out = "{\"bench\": \"" + id + "\", \"columns\": [";
+  for (size_t c = 0; c < table.columns().size(); ++c) {
+    out += (c ? ", " : "") + JsonCell(table.columns()[c]);
+  }
+  out += "], \"rows\": [";
+  for (size_t r = 0; r < table.rows().size(); ++r) {
+    out += r ? ", [" : "[";
+    for (size_t c = 0; c < table.rows()[r].size(); ++c) {
+      out += (c ? ", " : "") + JsonCell(table.rows()[r][c]);
+    }
+    out += "]";
+  }
+  out += "]}";
+  return out;
+}
+
+/// Honors `--json=<path>`: writes the table (appending when the path was
+/// already written to by this process, so multi-table benches emit NDJSON).
+inline void WriteJsonIfRequested(const Flags& flags, const std::string& id,
+                                 const Table& table) {
+  static std::vector<std::string> written;
+  std::string path = flags.GetString("json", "");
+  if (path.empty()) return;
+  bool append = false;
+  for (const std::string& p : written) append |= (p == path);
+  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return;
+  }
+  if (!append) written.push_back(path);
+  std::string json = TableJson(id, table);
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
 
 /// printf-style std::string.
 inline std::string Fmt(const char* fmt, ...) {

@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print();
+  WriteJsonIfRequested(flags, "exp1_scale_n_tuples", table);
   std::printf("expected shape: lattice methods ~linear in N; pairwise methods\n"
               "(depminer/fastfds/fdep) ~quadratic; FastOFD ≈ small constant\n"
               "factor over TANE (the paper reports ~1.8x).\n");

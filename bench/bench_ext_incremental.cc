@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
                   Fmt("%lld", static_cast<long long>(rechecked))});
   }
   table.Print();
+  WriteJsonIfRequested(flags, "ext_incremental", table);
   std::printf("expected shape: full re-verification costs O(N) per update and\n"
               "grows with N; the incremental verifier re-checks one class per\n"
               "affected OFD, so its per-update cost is flat and the speedup\n"

@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
                   Fmt("%.3f", products), Fmt("%zu", result.ofds.size())});
   }
   table.Print();
+  WriteJsonIfRequested(flags, "ext_parallel", table);
   std::printf("expected shape: validate speedup tracks the thread count until\n"
               "partition products (parallel but coarser-grained) dominate;\n"
               "output is identical for every thread count.\n");

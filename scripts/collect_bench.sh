@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs the benchmark harnesses that support --json and aggregates their
+# tables into two machine-readable files at the repo root:
+#   BENCH_core.json  — core pipeline benches (scale, parallelism, incremental)
+#   BENCH_serve.json — the service-mode bench (warm sessions, update latency,
+#                      closed-loop tail latency, drain)
+# Each file is a JSON array of {"bench", "columns", "rows"} tables.
+#
+# Usage: scripts/collect_bench.sh [build-dir] [-- extra bench flags...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Wraps a stream of NDJSON table lines into one JSON array.
+ndjson_to_array() {
+  local first=1
+  printf '['
+  while IFS= read -r line; do
+    [ -z "$line" ] && continue
+    [ "$first" = 1 ] || printf ',\n '
+    first=0
+    printf '%s' "$line"
+  done < "$1"
+  printf ']\n'
+}
+
+CORE_BENCHES=(bench_exp1_scale_n_tuples bench_ext_parallel bench_ext_incremental)
+: > "$TMP/core.ndjson"
+for b in "${CORE_BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$b"
+  if [ ! -x "$bin" ]; then
+    echo "skipping $b (not built)" >&2
+    continue
+  fi
+  echo "running $b ..." >&2
+  "$bin" --json "$TMP/$b.ndjson" "$@" > /dev/null
+  cat "$TMP/$b.ndjson" >> "$TMP/core.ndjson"
+done
+ndjson_to_array "$TMP/core.ndjson" > BENCH_core.json
+echo "wrote BENCH_core.json ($(wc -l < "$TMP/core.ndjson") tables)" >&2
+
+SERVE_BIN="$BUILD_DIR/bench/bench_serve"
+if [ -x "$SERVE_BIN" ]; then
+  echo "running bench_serve ..." >&2
+  "$SERVE_BIN" --json "$TMP/serve.ndjson" "$@" > /dev/null
+  ndjson_to_array "$TMP/serve.ndjson" > BENCH_serve.json
+  echo "wrote BENCH_serve.json ($(wc -l < "$TMP/serve.ndjson") tables)" >&2
+else
+  echo "skipping bench_serve (not built)" >&2
+fi

@@ -1,10 +1,33 @@
 #include "common/flags.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
 namespace fastofd {
+
+namespace {
+
+// True iff `arg` parses completely as a (possibly signed) number, so that
+// `--delta -3` attaches "-3" as the value of --delta instead of starting a
+// new flag.
+bool LooksNumeric(std::string_view arg) {
+  if (arg.empty()) return false;
+  const std::string s(arg);
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != s.c_str() && *end == '\0';
+}
+
+[[noreturn]] void DieMalformed(const std::string& name, const std::string& value,
+                               const char* expected) {
+  std::fprintf(stderr, "error: flag --%s: expected %s, got '%s'\n",
+               name.c_str(), expected, value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 Flags Flags::Parse(int argc, char** argv) {
   Flags flags;
@@ -20,7 +43,8 @@ Flags Flags::Parse(int argc, char** argv) {
       flags.values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
     } else if (arg.rfind("no-", 0) == 0) {
       flags.values_[std::string(arg.substr(3))] = "false";
-    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+    } else if (i + 1 < argc &&
+               (argv[i + 1][0] != '-' || LooksNumeric(argv[i + 1]))) {
       flags.values_[std::string(arg)] = argv[++i];
     } else {
       flags.values_[std::string(arg)] = "true";
@@ -32,13 +56,23 @@ Flags Flags::Parse(int argc, char** argv) {
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    DieMalformed(name, it->second, "an integer");
+  }
+  return v;
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    DieMalformed(name, it->second, "a number");
+  }
+  return v;
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {

@@ -1,8 +1,10 @@
 // Tiny command-line flag parsing for the example and benchmark binaries.
 //
 // Supports `--name=value` and `--name value` forms plus boolean
-// `--name` / `--no-name`. This keeps the bench harnesses dependency-free
-// while still letting a user scale experiments up to paper size.
+// `--name` / `--no-name`. A space-separated value may be a negative number
+// (`--delta -3`); any other argument starting with `-` begins a new flag.
+// This keeps the bench harnesses dependency-free while still letting a user
+// scale experiments up to paper size.
 
 #ifndef FASTOFD_COMMON_FLAGS_H_
 #define FASTOFD_COMMON_FLAGS_H_
@@ -21,7 +23,9 @@ class Flags {
   /// positional(); malformed flags terminate the process with usage text.
   static Flags Parse(int argc, char** argv);
 
-  /// Value accessors with defaults.
+  /// Value accessors with defaults. GetInt/GetDouble terminate the process
+  /// (exit 2, naming the flag) when the supplied value does not parse
+  /// completely as a number.
   int64_t GetInt(const std::string& name, int64_t def) const;
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;

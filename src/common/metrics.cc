@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 
@@ -32,6 +33,47 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+int HistogramStat::BucketFor(double value) {
+  if (!(value > kMin)) return 0;
+  int b = static_cast<int>(std::log(value / kMin) / std::log(kGrowth));
+  return std::min(std::max(b, 0), kNumBuckets - 1);
+}
+
+void HistogramStat::Observe(double value) {
+  if (value < 0) value = 0;
+  if (count == 0 || value < min) min = value;
+  if (count == 0 || value > max) max = value;
+  ++count;
+  sum += value;
+  ++buckets[static_cast<size_t>(BucketFor(value))];
+}
+
+double HistogramStat::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  int64_t rank = static_cast<int64_t>(q * static_cast<double>(count - 1));
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[static_cast<size_t>(b)];
+    if (seen > rank) {
+      // Geometric midpoint of the bucket, clamped to the observed range.
+      double lo = kMin * std::pow(kGrowth, b);
+      double mid = lo * std::sqrt(kGrowth);
+      return std::min(std::max(mid, min), max);
+    }
+  }
+  return max;
+}
+
+HistogramStat HistogramStat::Diff(const HistogramStat& earlier) const {
+  HistogramStat d = *this;
+  d.count -= earlier.count;
+  d.sum -= earlier.sum;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    d.buckets[static_cast<size_t>(b)] -= earlier.buckets[static_cast<size_t>(b)];
+  }
+  return d;
+}
+
 MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
   MetricsSnapshot d;
   for (const auto& [name, v] : counters) {
@@ -45,7 +87,17 @@ MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& earlier) const {
     if (it != earlier.timers.end()) base = it->second;
     d.timers[name] = TimerStat{t.seconds - base.seconds, t.count - base.count};
   }
+  for (const auto& [name, h] : histograms) {
+    auto it = earlier.histograms.find(name);
+    d.histograms[name] =
+        it == earlier.histograms.end() ? h : h.Diff(it->second);
+  }
   return d;
+}
+
+HistogramStat MetricsSnapshot::Histogram(const std::string& name) const {
+  auto it = histograms.find(name);
+  return it == histograms.end() ? HistogramStat{} : it->second;
 }
 
 int64_t MetricsSnapshot::Counter(const std::string& name) const {
@@ -64,6 +116,7 @@ std::string MetricsSnapshot::ToText() const {
   for (const auto& [name, _] : counters) width = std::max(width, name.size());
   for (const auto& [name, _] : gauges) width = std::max(width, name.size());
   for (const auto& [name, _] : timers) width = std::max(width, name.size());
+  for (const auto& [name, _] : histograms) width = std::max(width, name.size());
   int w = static_cast<int>(width);
   for (const auto& [name, v] : counters) {
     out += Fmt("counter  %-*s  %" PRId64 "\n", w, name.c_str(), v);
@@ -74,6 +127,12 @@ std::string MetricsSnapshot::ToText() const {
   for (const auto& [name, t] : timers) {
     out += Fmt("timer    %-*s  %.6fs  (%" PRId64 " intervals)\n", w,
                name.c_str(), t.seconds, t.count);
+  }
+  for (const auto& [name, h] : histograms) {
+    out += Fmt("hist     %-*s  count=%" PRId64
+               "  p50=%.6g  p95=%.6g  p99=%.6g  max=%.6g\n",
+               w, name.c_str(), h.count, h.Quantile(0.50), h.Quantile(0.95),
+               h.Quantile(0.99), h.max);
   }
   return out;
 }
@@ -98,6 +157,17 @@ std::string MetricsSnapshot::ToJson() const {
                first ? "" : ",", JsonEscape(name).c_str(), t.seconds, t.count);
     first = false;
   }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += Fmt("%s\"%s\":{\"count\":%" PRId64
+               ",\"sum\":%.9g,\"min\":%.9g,\"max\":%.9g,"
+               "\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g}",
+               first ? "" : ",", JsonEscape(name).c_str(), h.count, h.sum,
+               h.min, h.max, h.Quantile(0.50), h.Quantile(0.95),
+               h.Quantile(0.99));
+    first = false;
+  }
   out += "}}";
   return out;
 }
@@ -119,9 +189,14 @@ void MetricsRegistry::AddTime(const std::string& name, double seconds) {
   ++t.count;
 }
 
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Observe(value);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return MetricsSnapshot{counters_, gauges_, timers_};
+  return MetricsSnapshot{counters_, gauges_, timers_, histograms_};
 }
 
 void MetricsRegistry::Clear() {
@@ -129,6 +204,7 @@ void MetricsRegistry::Clear() {
   counters_.clear();
   gauges_.clear();
   timers_.clear();
+  histograms_.clear();
 }
 
 }  // namespace fastofd

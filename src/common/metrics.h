@@ -14,6 +14,7 @@
 #ifndef FASTOFD_COMMON_METRICS_H_
 #define FASTOFD_COMMON_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -33,23 +34,57 @@ struct TimerStat {
   }
 };
 
+/// A fixed-layout log-bucketed histogram of nonnegative samples (the service
+/// records request latencies in seconds). Buckets are geometric: bucket b
+/// covers [kMin * kGrowth^b, kMin * kGrowth^(b+1)), spanning ~1µs to ~200s;
+/// out-of-range samples clamp to the first/last bucket. Quantiles are
+/// estimated from the bucket counts (exact min/max/sum are tracked too), so
+/// p50/p95/p99 carry at most one bucket width (~35%) of relative error.
+struct HistogramStat {
+  static constexpr int kNumBuckets = 64;
+  static constexpr double kMin = 1e-6;
+  static constexpr double kGrowth = 1.35;
+
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<int64_t, kNumBuckets> buckets{};
+
+  /// The bucket a sample falls into.
+  static int BucketFor(double value);
+
+  void Observe(double value);
+
+  /// Estimated value at quantile q in [0, 1]; 0 when empty.
+  double Quantile(double q) const;
+
+  /// This histogram minus `earlier` (bucket-wise; min/max kept from *this).
+  HistogramStat Diff(const HistogramStat& earlier) const;
+};
+
 /// A point-in-time copy of a registry, with a diff for measuring one phase.
 struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, TimerStat> timers;
+  std::map<std::string, HistogramStat> histograms;
 
-  /// Counter/timer deltas since `earlier`; gauges keep this snapshot's value.
+  /// Counter/timer/histogram deltas since `earlier`; gauges keep this
+  /// snapshot's value.
   MetricsSnapshot Diff(const MetricsSnapshot& earlier) const;
 
   /// Counter value (0 when absent).
   int64_t Counter(const std::string& name) const;
   /// Accumulated timer seconds (0 when absent).
   double TimerSeconds(const std::string& name) const;
+  /// Histogram (empty when absent).
+  HistogramStat Histogram(const std::string& name) const;
 
   /// Aligned `kind name value` lines, sorted by name within kind.
   std::string ToText() const;
-  /// `{"counters":{...},"gauges":{...},"timers":{name:{seconds,count}}}`.
+  /// `{"counters":{...},"gauges":{...},"timers":{name:{seconds,count}},
+  ///   "histograms":{name:{count,sum,min,max,p50,p95,p99}}}`.
   std::string ToJson() const;
 };
 
@@ -66,6 +101,9 @@ class MetricsRegistry {
   /// Accumulates one timed interval into a named timer.
   void AddTime(const std::string& name, double seconds);
 
+  /// Records one sample into a named histogram (latencies, batch sizes).
+  void Observe(const std::string& name, double value);
+
   MetricsSnapshot Snapshot() const;
   std::string ToText() const { return Snapshot().ToText(); }
   std::string ToJson() const { return Snapshot().ToJson(); }
@@ -77,6 +115,7 @@ class MetricsRegistry {
   std::map<std::string, int64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, TimerStat> timers_;
+  std::map<std::string, HistogramStat> histograms_;
 };
 
 /// RAII wall-clock timer: records elapsed seconds into `registry` on

@@ -6,6 +6,14 @@
 
 namespace fastofd {
 
+namespace {
+// The pool whose job the current thread is executing a body for (nullptr
+// outside ParallelFor). Lets a nested ParallelFor on the same pool detect
+// itself and degrade to an inline serial loop instead of deadlocking on
+// job_mu_.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int w = 1; w < num_threads_; ++w) {
@@ -23,12 +31,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunChunks(int worker) {
+  const ThreadPool* prev = tls_running_pool;
+  tls_running_pool = this;
   size_t i;
   while ((i = next_index_.fetch_add(chunk_size_, std::memory_order_relaxed)) <
          job_size_) {
     size_t end = std::min(job_size_, i + chunk_size_);
     for (; i < end; ++i) (*body_)(i, worker);
   }
+  tls_running_pool = prev;
 }
 
 void ThreadPool::WorkerLoop(int worker) {
@@ -51,13 +62,16 @@ void ThreadPool::WorkerLoop(int worker) {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t, int)>& body) {
   if (n == 0) return;
-  if (num_threads_ <= 1 || n == 1) {
+  if (num_threads_ <= 1 || n == 1 || tls_running_pool == this) {
+    // Serial pools, trivial jobs, and nested calls all run inline.
     for (size_t i = 0; i < n; ++i) body(i, 0);
     return;
   }
+  // One job at a time: concurrent callers queue up here.
+  std::lock_guard<std::mutex> job_lock(job_mu_);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    FASTOFD_CHECK(body_ == nullptr);  // ParallelFor must not be nested.
+    FASTOFD_CHECK(body_ == nullptr);
     body_ = &body;
     job_size_ = n;
     // Several chunks per worker for load balance without contention on the

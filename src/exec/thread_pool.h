@@ -27,7 +27,12 @@ namespace fastofd {
 /// exactly `num_threads`. With num_threads <= 1 no threads are spawned and
 /// ParallelFor degenerates to an inline serial loop.
 ///
-/// ParallelFor calls must not be nested (one job at a time per pool).
+/// The pool runs one job at a time, but is safe to share between threads:
+/// ParallelFor calls from distinct threads serialize on an internal job
+/// mutex (the cleaning service submits every request's parallel work to one
+/// shared pool this way). A *nested* call — ParallelFor from inside a body
+/// running on this pool — runs the inner loop inline and serially on the
+/// calling worker instead of deadlocking.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -60,6 +65,7 @@ class ThreadPool {
   const int num_threads_;
   std::vector<std::thread> workers_;
 
+  std::mutex job_mu_;                 // Serializes whole jobs across callers.
   std::mutex mu_;
   std::condition_variable work_cv_;   // Signals workers: new job or stop.
   std::condition_variable done_cv_;   // Signals the caller: job finished.

@@ -1,5 +1,7 @@
 #include "ofd/incremental.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace fastofd {
@@ -10,50 +12,116 @@ IncrementalVerifier::IncrementalVerifier(Relation* rel, const SynonymIndex& inde
       index_(index),
       sigma_(std::move(sigma)),
       verifier_(*rel, index) {
-  AttrSet lhs_attrs, rhs_attrs;
-  for (const Ofd& ofd : sigma_) {
-    lhs_attrs = lhs_attrs.Union(ofd.lhs);
-    rhs_attrs = rhs_attrs.With(ofd.rhs);
-  }
-  FASTOFD_CHECK(!lhs_attrs.Intersects(rhs_attrs));
-
   states_.reserve(sigma_.size());
+  const RowId n = rel_->num_rows();
   for (const Ofd& ofd : sigma_) {
     OfdState state;
-    state.partition = StrippedPartition::BuildForSet(*rel_, ofd.lhs);
-    state.row_class.assign(static_cast<size_t>(rel_->num_rows()), -1);
-    const auto& classes = state.partition.classes();
-    state.class_ok.resize(classes.size());
-    for (size_t c = 0; c < classes.size(); ++c) {
-      for (RowId r : classes[c]) {
-        state.row_class[static_cast<size_t>(r)] = static_cast<int32_t>(c);
-      }
-      bool ok = verifier_.HoldsInClass(classes[c], ofd.rhs, ofd.kind);
-      state.class_ok[c] = ok;
-      state.violating += !ok;
-      ++classes_rechecked_;
+    state.lhs_attrs = ofd.lhs.ToVector();
+    state.row_group.assign(static_cast<size_t>(n), -1);
+    for (RowId r = 0; r < n; ++r) {
+      LhsKey key = KeyFor(state, r);
+      auto [it, inserted] =
+          state.key_to_group.try_emplace(std::move(key),
+                                         static_cast<int32_t>(state.groups.size()));
+      if (inserted) state.groups.emplace_back();
+      state.groups[static_cast<size_t>(it->second)].rows.push_back(r);
+      state.row_group[static_cast<size_t>(r)] = it->second;
     }
-    total_violating_ += state.violating;
     states_.push_back(std::move(state));
+    OfdState& st = states_.back();
+    for (size_t g = 0; g < st.groups.size(); ++g) {
+      RefreshGroup(st, ofd, static_cast<int32_t>(g));
+    }
   }
+}
+
+IncrementalVerifier::LhsKey IncrementalVerifier::KeyFor(const OfdState& state,
+                                                        RowId row) const {
+  LhsKey key;
+  key.reserve(state.lhs_attrs.size());
+  for (AttrId a : state.lhs_attrs) key.push_back(rel_->At(row, a));
+  return key;
+}
+
+void IncrementalVerifier::SetCounted(OfdState& state, Group& group, bool counted) {
+  if (group.counted == counted) return;
+  group.counted = counted;
+  state.violating += counted ? 1 : -1;
+  total_violating_ += counted ? 1 : -1;
+}
+
+void IncrementalVerifier::RefreshGroup(OfdState& state, const Ofd& ofd, int32_t g) {
+  Group& group = state.groups[static_cast<size_t>(g)];
+  if (group.rows.size() < 2) {
+    group.ok = true;  // Singletons (and empty groups) cannot violate.
+  } else {
+    group.ok = verifier_.HoldsInClass(group.rows, ofd.rhs, ofd.kind);
+    ++classes_rechecked_;
+  }
+  SetCounted(state, group, group.rows.size() >= 2 && !group.ok);
+}
+
+void IncrementalVerifier::MoveRow(OfdState& state, const Ofd& ofd, RowId row,
+                                  AttrId attr, ValueId old_value) {
+  // The relation already holds the new value; reconstruct the old key by
+  // substituting the previous value at the updated attribute.
+  LhsKey new_key = KeyFor(state, row);
+  LhsKey old_key = new_key;
+  size_t pos = static_cast<size_t>(
+      std::find(state.lhs_attrs.begin(), state.lhs_attrs.end(), attr) -
+      state.lhs_attrs.begin());
+  old_key[pos] = old_value;
+
+  // Leave the old group.
+  int32_t g_old = state.row_group[static_cast<size_t>(row)];
+  Group& old_group = state.groups[static_cast<size_t>(g_old)];
+  old_group.rows.erase(
+      std::find(old_group.rows.begin(), old_group.rows.end(), row));
+  if (old_group.rows.empty()) {
+    SetCounted(state, old_group, false);
+    state.key_to_group.erase(old_key);
+    state.free_groups.push_back(g_old);
+  } else {
+    // Removing a row can fix a violation (or leave one); re-check.
+    RefreshGroup(state, ofd, g_old);
+  }
+
+  // Join (or create) the new group.
+  auto it = state.key_to_group.find(new_key);
+  int32_t g_new;
+  if (it == state.key_to_group.end()) {
+    if (state.free_groups.empty()) {
+      g_new = static_cast<int32_t>(state.groups.size());
+      state.groups.emplace_back();
+    } else {
+      g_new = state.free_groups.back();
+      state.free_groups.pop_back();
+      state.groups[static_cast<size_t>(g_new)] = Group{};
+    }
+    state.key_to_group.emplace(std::move(new_key), g_new);
+    state.groups[static_cast<size_t>(g_new)].rows.push_back(row);
+    // A fresh singleton: vacuously satisfied, nothing to check.
+  } else {
+    g_new = it->second;
+    state.groups[static_cast<size_t>(g_new)].rows.push_back(row);
+    RefreshGroup(state, ofd, g_new);
+  }
+  state.row_group[static_cast<size_t>(row)] = g_new;
 }
 
 void IncrementalVerifier::UpdateCell(RowId row, AttrId attr, ValueId value) {
   FASTOFD_CHECK(row >= 0 && row < rel_->num_rows());
+  ValueId old_value = rel_->At(row, attr);
+  if (old_value == value) return;
   rel_->SetId(row, attr, value);
   for (size_t i = 0; i < sigma_.size(); ++i) {
-    if (sigma_[i].rhs != attr) continue;
+    const Ofd& ofd = sigma_[i];
     OfdState& state = states_[i];
-    int32_t c = state.row_class[static_cast<size_t>(row)];
-    if (c < 0) continue;  // Singleton class: always satisfied.
-    bool ok = verifier_.HoldsInClass(state.partition.classes()[static_cast<size_t>(c)],
-                                     attr, sigma_[i].kind);
-    ++classes_rechecked_;
-    bool was_ok = state.class_ok[static_cast<size_t>(c)];
-    if (ok != was_ok) {
-      state.class_ok[static_cast<size_t>(c)] = ok;
-      state.violating += ok ? -1 : 1;
-      total_violating_ += ok ? -1 : 1;
+    if (ofd.lhs.Contains(attr)) {
+      MoveRow(state, ofd, row, attr, old_value);
+    } else if (ofd.rhs == attr) {
+      int32_t g = state.row_group[static_cast<size_t>(row)];
+      RefreshGroup(state, ofd, g);
     }
   }
 }

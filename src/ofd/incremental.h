@@ -3,35 +3,36 @@
 // The paper motivates OFD maintenance with evolving data ("data naturally
 // evolve due to updates...", §5). Re-verifying Σ from scratch after every
 // update costs O(|I|) per OFD; this class maintains per-class satisfaction
-// state and re-checks only the single equivalence class an update touches,
-// making interactive cleaning loops (apply one repair, observe the new
-// violation set) cheap.
+// state and re-checks only the equivalence classes an update touches, making
+// interactive cleaning loops and the `fastofd serve` update path cheap.
 //
-// Scope matches OFDClean's (paper §5.1): updates may only touch attributes
-// that appear as consequents — antecedents are immutable, so Π*_X never
-// changes and class membership is a fixed row -> class map.
+// Unlike the paper's OFDClean scope (§5.1, consequents only), updates may
+// touch *any* attribute: classes are kept in a hash map from antecedent
+// key to equivalence class, so an antecedent update moves the row between
+// classes (re-checking the shrunken source and grown destination class) and
+// Σ may freely overlap — one attribute can be an antecedent of one OFD and
+// the consequent of another.
 
 #ifndef FASTOFD_OFD_INCREMENTAL_H_
 #define FASTOFD_OFD_INCREMENTAL_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "ofd/ofd.h"
 #include "ofd/verifier.h"
 #include "ontology/synonym_index.h"
-#include "relation/partition.h"
 #include "relation/relation.h"
 
 namespace fastofd {
 
-/// Maintains the satisfaction state of a set of OFDs under consequent-cell
-/// updates. Holds a reference to the relation; apply updates exclusively
-/// through UpdateCell so the cached state stays coherent.
+/// Maintains the satisfaction state of a set of OFDs under cell updates.
+/// Holds a reference to the relation; apply updates exclusively through
+/// UpdateCell so the cached state stays coherent.
 class IncrementalVerifier {
  public:
-  /// Builds partitions and initial per-class state. CHECKs the paper's
-  /// scope assumption (no attribute both antecedent and consequent).
+  /// Builds per-OFD class maps and initial per-class state.
   IncrementalVerifier(Relation* rel, const SynonymIndex& index, SigmaSet sigma);
 
   /// True iff every OFD in Σ is satisfied.
@@ -47,8 +48,13 @@ class IncrementalVerifier {
     return states_[ofd_index].violating;
   }
 
+  /// Total violating classes across Σ.
+  int total_violating() const { return total_violating_; }
+
   /// Applies rel->SetId(row, attr, value) and re-checks only the classes
-  /// containing `row` for OFDs whose consequent is `attr`.
+  /// containing `row`: for OFDs with consequent `attr` the row's class, for
+  /// OFDs with `attr` in the antecedent the classes the row leaves and
+  /// joins. A no-op when the cell already holds `value`.
   void UpdateCell(RowId row, AttrId attr, ValueId value);
 
   /// Classes re-checked since construction (the work a full re-verification
@@ -58,13 +64,47 @@ class IncrementalVerifier {
   const SigmaSet& sigma() const { return sigma_; }
 
  private:
+  /// The dictionary-coded antecedent values of one row — the identity of its
+  /// equivalence class.
+  using LhsKey = std::vector<ValueId>;
+
+  struct LhsKeyHash {
+    size_t operator()(const LhsKey& key) const {
+      uint64_t h = 0x9E3779B97F4A7C15ULL;
+      for (ValueId v : key) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(v)) + 0x9E3779B9U +
+             (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// One equivalence class of Π_lhs (singletons included, so rows can move
+  /// in and out without rebuilding).
+  struct Group {
+    std::vector<RowId> rows;
+    bool ok = true;       // Satisfaction; vacuously true for size < 2.
+    bool counted = false; // Currently counted in `violating`.
+  };
+
   struct OfdState {
-    StrippedPartition partition;
-    /// row -> class index within partition.classes(), -1 for singletons.
-    std::vector<int32_t> row_class;
-    std::vector<bool> class_ok;
+    std::vector<AttrId> lhs_attrs;  // ofd.lhs in ascending order.
+    std::unordered_map<LhsKey, int32_t, LhsKeyHash> key_to_group;
+    std::vector<Group> groups;      // Indexed by the map; holes on free list.
+    std::vector<int32_t> free_groups;
+    std::vector<int32_t> row_group; // row -> group index.
     int violating = 0;
   };
+
+  LhsKey KeyFor(const OfdState& state, RowId row) const;
+  /// Re-checks group `g` (if it still has >= 2 rows) and updates the
+  /// violating counters.
+  void RefreshGroup(OfdState& state, const Ofd& ofd, int32_t g);
+  void SetCounted(OfdState& state, Group& group, bool counted);
+  /// Moves `row` from its old group (keyed with `old_value` at `attr`) to
+  /// the group matching its current antecedent values.
+  void MoveRow(OfdState& state, const Ofd& ofd, RowId row, AttrId attr,
+               ValueId old_value);
 
   Relation* rel_;
   const SynonymIndex& index_;

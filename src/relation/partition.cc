@@ -170,6 +170,27 @@ void PartitionCache::Clear() {
   PublishGaugesLocked();
 }
 
+size_t PartitionCache::Invalidate(AttrSet touched) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.Intersects(touched)) {
+      bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      it = cache_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped != 0 && metrics_ != nullptr) {
+    metrics_->Add("partition_cache.invalidated",
+                  static_cast<int64_t>(dropped));
+  }
+  PublishGaugesLocked();
+  return dropped;
+}
+
 size_t PartitionCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();

@@ -113,6 +113,13 @@ class PartitionCache {
   static int64_t FootprintBytes(const StrippedPartition& p);
 
   void Clear();
+
+  /// Drops every cached entry whose attribute set intersects `touched`;
+  /// returns the number dropped. Called after cell updates mutate the
+  /// relation so stale partitions are recomputed on next Get while
+  /// partitions over untouched attributes stay warm.
+  size_t Invalidate(AttrSet touched);
+
   size_t size() const;
   /// Current total footprint of the cached entries, in bytes.
   int64_t bytes() const;

@@ -1,0 +1,116 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace fastofd {
+
+ServiceClient::~ServiceClient() { Close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServiceClient::Close() {
+  if (fd_ != -1) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ServiceClient> ServiceClient::ConnectUnix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Error("socket: failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::Error("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Error("connect " + path + ": " + std::strerror(errno));
+  }
+  ServiceClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Result<ServiceClient> ServiceClient::ConnectTcp(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Error("socket: failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Error("connect 127.0.0.1:" + std::to_string(port) + ": " +
+                         std::strerror(errno));
+  }
+  ServiceClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+Status ServiceClient::Send(const Json& request) {
+  if (fd_ == -1) return Status::Error("client not connected");
+  std::string line = request.Dump();
+  line.push_back('\n');
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(fd_, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      Close();
+      return Status::Error("send failed: connection closed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<Json> ServiceClient::ReadResponse() {
+  if (fd_ == -1) return Status::Error("client not connected");
+  char chunk[65536];
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return Json::Parse(line);
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      Close();
+      return Status::Error("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<Json> ServiceClient::Call(const Json& request) {
+  Status sent = Send(request);
+  if (!sent.ok()) return sent;
+  return ReadResponse();
+}
+
+}  // namespace fastofd

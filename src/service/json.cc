@@ -1,0 +1,418 @@
+#include "service/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace fastofd {
+
+namespace {
+
+const Json kNullJson;
+const std::string kEmptyString;
+
+}  // namespace
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = v;
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    j.int_ = static_cast<int64_t>(v);
+    j.is_int_ = true;
+  }
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.num_ = static_cast<double>(v);
+  j.int_ = v;
+  j.is_int_ = true;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool(bool def) const { return is_bool() ? bool_ : def; }
+
+double Json::AsDouble(double def) const { return is_number() ? num_ : def; }
+
+int64_t Json::AsInt(int64_t def) const {
+  if (!is_number()) return def;
+  return is_int_ ? int_ : static_cast<int64_t>(num_);
+}
+
+const std::string& Json::AsString() const {
+  return is_string() ? str_ : kEmptyString;
+}
+
+size_t Json::size() const {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  return 0;
+}
+
+const Json& Json::At(size_t i) const {
+  if (!is_array() || i >= arr_.size()) return kNullJson;
+  return arr_[i];
+}
+
+Json& Json::Push(Json v) {
+  FASTOFD_CHECK(is_array());
+  arr_.push_back(std::move(v));
+  return *this;
+}
+
+bool Json::Has(const std::string& key) const {
+  if (!is_object()) return false;
+  for (const auto& [k, _] : obj_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Json& Json::Get(const std::string& key) const {
+  if (is_object()) {
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return v;
+    }
+  }
+  return kNullJson;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  FASTOFD_CHECK(is_object());
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization.
+
+namespace {
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; return;
+    case Type::kBool: *out += bool_ ? "true" : "false"; return;
+    case Type::kNumber: {
+      char buf[40];
+      if (is_int_) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      } else if (std::isfinite(num_)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      } else {
+        std::snprintf(buf, sizeof(buf), "null");  // JSON has no NaN/Inf.
+      }
+      *out += buf;
+      return;
+    }
+    case Type::kString: EscapeTo(str_, out); return;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out->push_back(',');
+        arr_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out->push_back(',');
+        EscapeTo(obj_[i].first, out);
+        out->push_back(':');
+        obj_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Run() {
+    Json value;
+    Status s = ParseValue(&value, 0);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::Error("json: trailing characters at offset " +
+                           std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) {
+    return Status::Error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': return ParseString(out);
+      case 't':
+      case 'f':
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(Json* out) {
+    auto match = [&](std::string_view lit) {
+      if (text_.substr(pos_, lit.size()) == lit) {
+        pos_ += lit.size();
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      *out = Json::Bool(true);
+      return Status::Ok();
+    }
+    if (match("false")) {
+      *out = Json::Bool(false);
+      return Status::Ok();
+    }
+    if (match("null")) {
+      *out = Json::Null();
+      return Status::Ok();
+    }
+    return Fail("invalid literal");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_int = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_int = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("invalid number");
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    if (is_int) {
+      long long v = std::strtoll(num.c_str(), &end, 10);
+      if (end != num.c_str() + num.size()) return Fail("invalid number");
+      *out = Json::Int(v);
+    } else {
+      double v = std::strtod(num.c_str(), &end);
+      if (end != num.c_str() + num.size()) return Fail("invalid number");
+      *out = Json::Number(v);
+    }
+    return Status::Ok();
+  }
+
+  Status ParseString(Json* out) {
+    std::string s;
+    Status st = ParseRawString(&s);
+    if (!st.ok()) return st;
+    *out = Json::Str(std::move(s));
+    return Status::Ok();
+  }
+
+  Status ParseRawString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs are passed through
+          // as two 3-byte sequences — fine for the identifiers we carry).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    Consume('[');
+    *out = Json::Array();
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      Json elem;
+      Status s = ParseValue(&elem, depth + 1);
+      if (!s.ok()) return s;
+      out->Push(std::move(elem));
+      SkipWs();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    Consume('{');
+    *out = Json::Object();
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      std::string key;
+      Status s = ParseRawString(&key);
+      if (!s.ok()) return s;
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'");
+      Json value;
+      s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      out->Set(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace fastofd

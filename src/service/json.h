@@ -1,0 +1,91 @@
+// Minimal JSON value type for the fastofd service protocol.
+//
+// The service speaks newline-delimited JSON (docs/protocol.md); this is the
+// one place in the tree that parses untrusted wire input, so the parser is
+// strict (complete-input, depth-limited) and returns Status instead of
+// aborting. Numbers preserve int64 exactness where possible — row ids and
+// counters round-trip without float formatting.
+
+#ifndef FASTOFD_SERVICE_JSON_H_
+#define FASTOFD_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fastofd {
+
+/// An immutable-by-convention JSON value: null, bool, number, string,
+/// array, or object (insertion-ordered keys).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double v);
+  static Json Int(int64_t v);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). Nesting is limited to 64 levels.
+  static Result<Json> Parse(std::string_view text);
+
+  /// Compact serialization (no whitespace); round-trips Parse.
+  std::string Dump() const;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; defaults apply on type mismatch, so callers can read
+  /// optional request fields without checking types first.
+  bool AsBool(bool def = false) const;
+  double AsDouble(double def = 0.0) const;
+  int64_t AsInt(int64_t def = 0) const;
+  const std::string& AsString() const;  // Empty string on mismatch.
+
+  // --- Arrays ---
+  size_t size() const;
+  /// items()[i]; Null for out-of-range or non-array.
+  const Json& At(size_t i) const;
+  const std::vector<Json>& items() const { return arr_; }
+  Json& Push(Json v);  // Returns *this for chaining. Array only.
+
+  // --- Objects ---
+  bool Has(const std::string& key) const;
+  /// Member value; Null when absent or non-object.
+  const Json& Get(const std::string& key) const;
+  Json& Set(std::string key, Json value);  // Returns *this. Object only.
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  bool is_int_ = false;  // Number fits an int64 exactly.
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_SERVICE_JSON_H_

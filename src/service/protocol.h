@@ -1,0 +1,45 @@
+// Wire protocol constants for the fastofd cleaning service.
+//
+// The service speaks newline-delimited JSON over a UNIX-domain or TCP
+// socket: one request object per line in, one response object per line out.
+// docs/protocol.md documents every request/response shape; this header pins
+// the op names and error codes both sides compile against.
+//
+// Request envelope:  {"id": <any>, "op": "<name>", ...op fields}
+// Response envelope: {"id": <echoed>, "ok": true, ...}            on success
+//                    {"id": <echoed>, "ok": false,
+//                     "code": <int>, "error": "<message>"}        on failure
+
+#ifndef FASTOFD_SERVICE_PROTOCOL_H_
+#define FASTOFD_SERVICE_PROTOCOL_H_
+
+namespace fastofd {
+
+/// HTTP-flavoured error codes carried in failure responses.
+enum ServiceCode {
+  kCodeBadRequest = 400,       // Malformed JSON / missing or invalid fields.
+  kCodeNotFound = 404,         // Unknown session or attribute name.
+  kCodeConflict = 409,         // Session name already loaded.
+  kCodeOverloaded = 503,       // Request queue full, or server draining.
+  kCodeDeadlineExceeded = 504, // Deadline elapsed while queued.
+  kCodeInternal = 500,         // Library-level failure.
+};
+
+/// Request op names.
+namespace ops {
+inline constexpr char kPing[] = "ping";         // Liveness probe.
+inline constexpr char kLoad[] = "load";         // Open a session from files.
+inline constexpr char kUnload[] = "unload";     // Drop a session.
+inline constexpr char kList[] = "list";         // Enumerate sessions.
+inline constexpr char kVerify[] = "verify";     // Verify Σ against a session.
+inline constexpr char kDiscover[] = "discover"; // Run OFD discovery.
+inline constexpr char kClean[] = "clean";       // Run OFDClean (read-only).
+inline constexpr char kUpdate[] = "update";     // Apply cell updates online.
+inline constexpr char kStats[] = "stats";       // Metrics + latency quantiles.
+inline constexpr char kSleep[] = "sleep";       // Debug: hold the executor.
+inline constexpr char kShutdown[] = "shutdown"; // Begin graceful drain.
+}  // namespace ops
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_SERVICE_PROTOCOL_H_

@@ -1,0 +1,676 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "clean/repair.h"
+#include "common/csv.h"
+#include "discovery/fastofd.h"
+#include "ofd/sigma_io.h"
+#include "ofd/verifier.h"
+#include "service/protocol.h"
+
+namespace fastofd {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Json OkResponse(const Json& request) {
+  Json response = Json::Object();
+  response.Set("id", request.Get("id"));
+  response.Set("ok", Json::Bool(true));
+  return response;
+}
+
+Json ErrResponse(const Json& request, int code, const std::string& message) {
+  Json response = Json::Object();
+  response.Set("id", request.Get("id"));
+  response.Set("ok", Json::Bool(false));
+  response.Set("code", Json::Int(code));
+  response.Set("error", Json::Str(message));
+  return response;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Queue.
+
+bool ServiceServer::Queue::Push(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= depth_) return false;
+    items_.push_back(std::move(request));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool ServiceServer::Queue::PopBatch(std::vector<Request>* out, int max_updates) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // Closed and drained.
+  out->push_back(std::move(items_.front()));
+  items_.pop_front();
+  // Micro-batch: coalesce consecutive updates against the same session so a
+  // burst of single-cell updates pays one dequeue round trip.
+  if (out->front().op == ops::kUpdate) {
+    while (static_cast<int>(out->size()) < max_updates && !items_.empty() &&
+           items_.front().op == ops::kUpdate &&
+           items_.front().session == out->front().session) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+  }
+  return true;
+}
+
+void ServiceServer::Queue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t ServiceServer::Queue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+
+ServiceServer::ServiceServer(ServerConfig config, MetricsRegistry* metrics)
+    : config_(std::move(config)),
+      metrics_(metrics),
+      pool_(config_.threads),
+      queue_(static_cast<size_t>(config_.queue_depth)) {
+  // Register the fleet-facing counters at zero so the first `stats` or
+  // metrics flush shows them even before traffic arrives.
+  metrics_->Add("serve.rejected", 0);
+  metrics_->Add("serve.deadline_exceeded", 0);
+  metrics_->Add("serve.responses.ok", 0);
+  metrics_->Add("serve.responses.error", 0);
+  metrics_->Set("serve.queue_depth", 0);
+}
+
+ServiceServer::~ServiceServer() {
+  if (started_ && !joined_) {
+    NotifyShutdown();
+    Wait();
+  }
+  for (int fd : shutdown_pipe_) {
+    if (fd != -1) ::close(fd);
+  }
+}
+
+Status ServiceServer::Start() {
+  if (::pipe(shutdown_pipe_) != 0) {
+    return Status::Error("pipe: " + std::string(std::strerror(errno)));
+  }
+  if (!config_.unix_socket.empty()) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Error("socket: failed");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      return Status::Error("socket path too long: " + config_.unix_socket);
+    }
+    std::strncpy(addr.sun_path, config_.unix_socket.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(config_.unix_socket.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Status::Error("bind " + config_.unix_socket + ": " +
+                           std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Error("socket: failed");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return Status::Error("bind port " + std::to_string(config_.tcp_port) +
+                           ": " + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::Error("listen: " + std::string(std::strerror(errno)));
+  }
+  listener_ = std::thread([this] { ListenerLoop(); });
+  executor_ = std::thread([this] { ExecutorLoop(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void ServiceServer::NotifyShutdown() {
+  if (shutdown_requested_.exchange(true)) return;
+  char byte = 'x';
+  // Signal-safe: a single write to the self-pipe.
+  [[maybe_unused]] ssize_t n = ::write(shutdown_pipe_[1], &byte, 1);
+}
+
+void ServiceServer::Wait() {
+  if (!started_ || joined_) return;
+  if (listener_.joinable()) listener_.join();
+  // Listener closed the queue; the executor finishes every queued request.
+  if (executor_.joinable()) executor_.join();
+  // All responses are written; now tear down connections.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      if (conn->fd != -1) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    readers_cv_.wait(lock, [&] { return readers_active_ == 0; });
+  }
+  if (!config_.unix_socket.empty()) ::unlink(config_.unix_socket.c_str());
+  joined_ = true;
+}
+
+void ServiceServer::BeginDrain() {
+  draining_.store(true);
+  queue_.Close();
+  if (listen_fd_ != -1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener + readers.
+
+void ServiceServer::ListenerLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {shutdown_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // Shutdown requested.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(conn);
+      ++readers_active_;
+    }
+    metrics_->Add("serve.connections", 1);
+    std::thread([this, conn] { ReaderLoop(conn); }).detach();
+  }
+  BeginDrain();
+}
+
+void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string buffer;
+  char chunk[65536];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
+         start = nl + 1) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (line.empty()) continue;
+
+      auto parsed = Json::Parse(line);
+      if (!parsed.ok()) {
+        WriteResponse(*conn, ErrResponse(Json::Object(), kCodeBadRequest,
+                                         parsed.status().message()));
+        continue;
+      }
+      Request request;
+      request.msg = std::move(parsed).value();
+      request.op = request.msg.Get("op").AsString();
+      request.session = request.msg.Get("session").AsString();
+      request.conn = conn;
+      request.enqueue_seconds = NowSeconds();
+      double deadline_ms = request.msg.Has("deadline_ms")
+                               ? request.msg.Get("deadline_ms").AsDouble()
+                               : config_.default_deadline_ms;
+      if (deadline_ms > 0) {
+        request.deadline_seconds = request.enqueue_seconds + deadline_ms / 1e3;
+      }
+      metrics_->Add("serve.requests." + request.op, 1);
+      const Json& msg = request.msg;  // Push moves the request away.
+      if (!queue_.Push(std::move(request))) {
+        metrics_->Add("serve.rejected", 1);
+        WriteResponse(*conn,
+                      ErrResponse(msg, kCodeOverloaded,
+                                  draining_.load() ? "server draining"
+                                                   : "request queue full"));
+        continue;
+      }
+      metrics_->Set("serve.queue_depth", static_cast<double>(queue_.size()));
+    }
+    buffer.erase(0, start);
+  }
+  {
+    std::lock_guard<std::mutex> wlock(conn->write_mu);
+    if (conn->fd != -1) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  --readers_active_;
+  readers_cv_.notify_all();
+}
+
+void ServiceServer::WriteResponse(Connection& conn, const Json& response) {
+  std::string line = response.Dump();
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (conn.fd == -1) return;  // Client already gone.
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(conn.fd, line.data() + off, line.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Executor.
+
+void ServiceServer::ExecutorLoop() {
+  std::vector<Request> batch;
+  while (true) {
+    batch.clear();
+    if (!queue_.PopBatch(&batch, config_.max_update_batch)) break;
+    metrics_->Set("serve.queue_depth", static_cast<double>(queue_.size()));
+    if (batch.size() > 1) {
+      metrics_->Add("serve.batches", 1);
+      metrics_->Observe("serve.batch_size", static_cast<double>(batch.size()));
+    }
+    ExecuteBatch(batch);
+  }
+}
+
+void ServiceServer::ExecuteBatch(std::vector<Request>& batch) {
+  for (Request& request : batch) {
+    double begin = NowSeconds();
+    metrics_->Observe("serve.queue_wait", begin - request.enqueue_seconds);
+    Json response;
+    if (request.deadline_seconds > 0 && begin > request.deadline_seconds) {
+      metrics_->Add("serve.deadline_exceeded", 1);
+      response = ErrResponse(request.msg, kCodeDeadlineExceeded,
+                             "deadline exceeded while queued");
+      metrics_->Add("serve.responses.error", 1);
+    } else {
+      response = Execute(request.msg);
+    }
+    metrics_->Observe("serve.latency." + request.op,
+                      NowSeconds() - request.enqueue_seconds);
+    WriteResponse(*request.conn, response);
+  }
+}
+
+Json ServiceServer::Execute(const Json& request) {
+  const std::string op = request.Get("op").AsString();
+  Json response;
+  {
+    ScopedTimer timer(metrics_, "serve.exec." + op + ".seconds");
+    if (op == ops::kPing) response = HandlePing(request);
+    else if (op == ops::kLoad) response = HandleLoad(request);
+    else if (op == ops::kUnload) response = HandleUnload(request);
+    else if (op == ops::kList) response = HandleList(request);
+    else if (op == ops::kVerify) response = HandleVerify(request);
+    else if (op == ops::kDiscover) response = HandleDiscover(request);
+    else if (op == ops::kClean) response = HandleClean(request);
+    else if (op == ops::kUpdate) response = HandleUpdate(request);
+    else if (op == ops::kStats) response = HandleStats(request);
+    else if (op == ops::kSleep) response = HandleSleep(request);
+    else if (op == ops::kShutdown) {
+      NotifyShutdown();
+      response = OkResponse(request);
+      response.Set("draining", Json::Bool(true));
+    } else {
+      response = ErrResponse(request, kCodeBadRequest,
+                             "unknown op '" + op + "'");
+    }
+  }
+  metrics_->Add(response.Get("ok").AsBool() ? "serve.responses.ok"
+                                            : "serve.responses.error",
+                1);
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+Json ServiceServer::HandlePing(const Json& request) {
+  Json response = OkResponse(request);
+  response.Set("pong", Json::Bool(true));
+  return response;
+}
+
+Json ServiceServer::HandleSleep(const Json& request) {
+  double ms = request.Get("ms").AsDouble(10.0);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000)));
+  return OkResponse(request);
+}
+
+Json ServiceServer::HandleLoad(const Json& request) {
+  std::string name = request.Get("session").AsString();
+  std::string data = request.Get("data").AsString();
+  std::string ontology = request.Get("ontology").AsString();
+  std::string sigma = request.Get("sigma").AsString();
+  if (name.empty() || data.empty() || ontology.empty()) {
+    return ErrResponse(request, kCodeBadRequest,
+                       "load requires session, data, and ontology");
+  }
+  if (sessions_.Find(name) != nullptr) {
+    return ErrResponse(request, kCodeConflict,
+                       "session '" + name + "' already exists");
+  }
+  auto session = Session::Open(name, data, ontology, sigma,
+                               config_.cache_budget_bytes, metrics_);
+  if (!session.ok()) {
+    return ErrResponse(request, kCodeInternal, session.status().message());
+  }
+  Json response = OkResponse(request);
+  Session& s = *session.value();
+  response.Set("session", Json::Str(name));
+  response.Set("rows", Json::Int(s.rel().num_rows()));
+  response.Set("attrs", Json::Int(s.rel().num_attrs()));
+  response.Set("sigma_size", Json::Int(static_cast<int64_t>(s.sigma().size())));
+  if (s.incremental() != nullptr) {
+    response.Set("consistent", Json::Bool(s.incremental()->IsConsistent()));
+    response.Set("violating_classes",
+                 Json::Int(s.incremental()->total_violating()));
+  }
+  response.Set("load_seconds", Json::Number(s.load_seconds()));
+  Status added = sessions_.Add(std::move(session).value());
+  if (!added.ok()) {
+    return ErrResponse(request, kCodeConflict, added.message());
+  }
+  metrics_->Set("serve.sessions", static_cast<double>(sessions_.size()));
+  return response;
+}
+
+Json ServiceServer::HandleUnload(const Json& request) {
+  Status removed = sessions_.Remove(request.Get("session").AsString());
+  if (!removed.ok()) {
+    return ErrResponse(request, kCodeNotFound, removed.message());
+  }
+  metrics_->Set("serve.sessions", static_cast<double>(sessions_.size()));
+  return OkResponse(request);
+}
+
+Json ServiceServer::HandleList(const Json& request) {
+  Json sessions = Json::Array();
+  for (const std::string& name : sessions_.Names()) {
+    Session* s = sessions_.Find(name);
+    if (s == nullptr) continue;
+    Json entry = Json::Object();
+    entry.Set("session", Json::Str(name));
+    entry.Set("rows", Json::Int(s->rel().num_rows()));
+    entry.Set("attrs", Json::Int(s->rel().num_attrs()));
+    entry.Set("sigma_size",
+              Json::Int(static_cast<int64_t>(s->sigma().size())));
+    entry.Set("cache_entries", Json::Int(static_cast<int64_t>(s->cache().size())));
+    entry.Set("cache_bytes", Json::Int(s->cache().bytes()));
+    if (s->incremental() != nullptr) {
+      entry.Set("consistent", Json::Bool(s->incremental()->IsConsistent()));
+      entry.Set("violating_classes",
+                Json::Int(s->incremental()->total_violating()));
+    }
+    entry.Set("load_seconds", Json::Number(s->load_seconds()));
+    sessions.Push(std::move(entry));
+  }
+  Json response = OkResponse(request);
+  response.Set("sessions", std::move(sessions));
+  return response;
+}
+
+Json ServiceServer::HandleVerify(const Json& request) {
+  Session* session = sessions_.Find(request.Get("session").AsString());
+  if (session == nullptr) {
+    return ErrResponse(request, kCodeNotFound, "unknown session");
+  }
+  if (!session->has_sigma()) {
+    return ErrResponse(request, kCodeBadRequest, "session has no sigma");
+  }
+  const SigmaSet& sigma = session->sigma();
+  OfdVerifier verifier(session->rel(), session->index(), &session->ontology());
+  struct Check {
+    bool holds = false;
+    double support = 0.0;
+  };
+  std::vector<Check> checks(sigma.size());
+  PartitionCache& cache = session->cache();
+  pool_.ParallelFor(sigma.size(), [&](size_t i, int) {
+    const Ofd& ofd = sigma[i];
+    std::shared_ptr<const StrippedPartition> p = cache.Get(ofd.lhs);
+    checks[i].holds = verifier.Holds(ofd, *p);
+    checks[i].support = ofd.kind == OfdKind::kSynonym
+                            ? verifier.Support(ofd, *p)
+                            : (checks[i].holds ? 1.0 : 0.0);
+  });
+  Json ofds = Json::Array();
+  int violated = 0;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    Json entry = Json::Object();
+    entry.Set("ofd", Json::Str(RenderOfd(sigma[i], session->rel().schema())));
+    entry.Set("holds", Json::Bool(checks[i].holds));
+    entry.Set("support", Json::Number(checks[i].support));
+    ofds.Push(std::move(entry));
+    violated += !checks[i].holds;
+  }
+  Json response = OkResponse(request);
+  response.Set("ofds", std::move(ofds));
+  response.Set("violated", Json::Int(violated));
+  response.Set("consistent", Json::Bool(violated == 0));
+  return response;
+}
+
+Json ServiceServer::HandleDiscover(const Json& request) {
+  Session* session = sessions_.Find(request.Get("session").AsString());
+  if (session == nullptr) {
+    return ErrResponse(request, kCodeNotFound, "unknown session");
+  }
+  FastOfdConfig config;
+  config.min_support = request.Get("kappa").AsDouble(1.0);
+  config.max_level = static_cast<int>(request.Get("max_level").AsInt(64));
+  config.pool = &pool_;
+  config.metrics = metrics_;
+  config.partitions = &session->cache();
+  FastOfdResult result =
+      FastOfd(session->rel(), session->index(), config, nullptr).Discover();
+  Json ofds = Json::Array();
+  for (const Ofd& ofd : result.ofds) {
+    ofds.Push(Json::Str(RenderOfd(ofd, session->rel().schema())));
+  }
+  Json response = OkResponse(request);
+  response.Set("ofds", std::move(ofds));
+  response.Set("candidates_checked", Json::Int(result.candidates_checked));
+  return response;
+}
+
+Json ServiceServer::HandleClean(const Json& request) {
+  Session* session = sessions_.Find(request.Get("session").AsString());
+  if (session == nullptr) {
+    return ErrResponse(request, kCodeNotFound, "unknown session");
+  }
+  if (!session->has_sigma()) {
+    return ErrResponse(request, kCodeBadRequest, "session has no sigma");
+  }
+  OfdCleanConfig config;
+  config.beam_size = static_cast<int>(request.Get("beam").AsInt(0));
+  config.tau = request.Get("tau").AsDouble(0.65);
+  config.pool = &pool_;
+  config.metrics = metrics_;
+  config.partitions = &session->cache();
+  OfdClean cleaner(session->rel(), session->ontology(), session->sigma(),
+                   config);
+  OfdCleanResult result = cleaner.Run();
+
+  Json pareto = Json::Array();
+  for (const ParetoPoint& p : result.pareto) {
+    pareto.Push(Json::Array()
+                    .Push(Json::Int(p.ontology_changes))
+                    .Push(Json::Int(p.data_changes)));
+  }
+  Json additions = Json::Array();
+  for (const OntologyAddition& add : result.best.ontology_additions) {
+    Json entry = Json::Object();
+    entry.Set("value", Json::Str(session->rel().dict().String(add.value)));
+    entry.Set("sense", Json::Str(session->ontology().sense_name(add.sense)));
+    additions.Push(std::move(entry));
+  }
+  Json response = OkResponse(request);
+  response.Set("pareto", std::move(pareto));
+  response.Set("ontology_additions", std::move(additions));
+  response.Set("data_changes", Json::Int(result.best.data_changes));
+  response.Set("consistent", Json::Bool(result.best.consistent));
+  std::string out = request.Get("out").AsString();
+  if (!out.empty()) {
+    Status s = WriteCsvFile(out, result.best.repaired.ToCsv());
+    if (!s.ok()) return ErrResponse(request, kCodeInternal, s.message());
+    response.Set("out", Json::Str(out));
+  }
+  return response;
+}
+
+Json ServiceServer::HandleUpdate(const Json& request) {
+  Session* session = sessions_.Find(request.Get("session").AsString());
+  if (session == nullptr) {
+    return ErrResponse(request, kCodeNotFound, "unknown session");
+  }
+  Relation& rel = session->rel();
+
+  // Either a single {row, attr, value} or a batched {"updates": [...]}.
+  std::vector<const Json*> updates;
+  if (request.Get("updates").is_array()) {
+    for (const Json& u : request.Get("updates").items()) updates.push_back(&u);
+  } else if (request.Has("row")) {
+    updates.push_back(&request);
+  }
+  if (updates.empty()) {
+    return ErrResponse(request, kCodeBadRequest,
+                       "update requires row/attr/value or updates[]");
+  }
+
+  int64_t before_rechecked =
+      session->incremental() != nullptr
+          ? session->incremental()->classes_rechecked()
+          : 0;
+  int applied = 0;
+  for (const Json* u : updates) {
+    RowId row = static_cast<RowId>(u->Get("row").AsInt(-1));
+    if (row < 0 || row >= rel.num_rows()) {
+      return ErrResponse(request, kCodeBadRequest,
+                         "row out of range: " + u->Get("row").Dump());
+    }
+    const Json& attr_field = u->Get("attr");
+    AttrId attr = attr_field.is_string()
+                      ? rel.schema().Find(attr_field.AsString())
+                      : static_cast<AttrId>(attr_field.AsInt(-1));
+    if (attr < 0 && attr_field.is_string() && !attr_field.AsString().empty() &&
+        attr_field.AsString().find_first_not_of("0123456789") ==
+            std::string::npos) {
+      // `fastofd client update --attr 2` reaches us as the string "2".
+      attr = static_cast<AttrId>(std::stol(attr_field.AsString()));
+    }
+    if (attr < 0 || attr >= rel.num_attrs()) {
+      return ErrResponse(request, kCodeNotFound,
+                         "unknown attribute: " + attr_field.Dump());
+    }
+    if (!u->Get("value").is_string()) {
+      return ErrResponse(request, kCodeBadRequest,
+                         "update value must be a string");
+    }
+    ValueId value = rel.mutable_dict().Intern(u->Get("value").AsString());
+    session->UpdateCell(row, attr, value);
+    ++applied;
+  }
+  size_t invalidated = session->FlushInvalidations();
+  metrics_->Add("serve.cells_updated", applied);
+
+  Json response = OkResponse(request);
+  response.Set("applied", Json::Int(applied));
+  response.Set("invalidated_partitions",
+               Json::Int(static_cast<int64_t>(invalidated)));
+  if (session->incremental() != nullptr) {
+    IncrementalVerifier* inc = session->incremental();
+    response.Set("consistent", Json::Bool(inc->IsConsistent()));
+    response.Set("violating_classes", Json::Int(inc->total_violating()));
+    response.Set("classes_rechecked",
+                 Json::Int(inc->classes_rechecked() - before_rechecked));
+  }
+  return response;
+}
+
+Json ServiceServer::HandleStats(const Json& request) {
+  MetricsSnapshot snapshot = metrics_->Snapshot();
+  Json counters = Json::Object();
+  for (const auto& [name, v] : snapshot.counters) counters.Set(name, Json::Int(v));
+  Json gauges = Json::Object();
+  for (const auto& [name, v] : snapshot.gauges) gauges.Set(name, Json::Number(v));
+  Json timers = Json::Object();
+  for (const auto& [name, t] : snapshot.timers) {
+    Json entry = Json::Object();
+    entry.Set("seconds", Json::Number(t.seconds));
+    entry.Set("count", Json::Int(t.count));
+    timers.Set(name, std::move(entry));
+  }
+  // Latency histograms, reported in milliseconds under their op name.
+  Json latency = Json::Object();
+  const std::string prefix = "serve.latency.";
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    Json entry = Json::Object();
+    entry.Set("count", Json::Int(h.count));
+    entry.Set("p50_ms", Json::Number(h.Quantile(0.50) * 1e3));
+    entry.Set("p95_ms", Json::Number(h.Quantile(0.95) * 1e3));
+    entry.Set("p99_ms", Json::Number(h.Quantile(0.99) * 1e3));
+    entry.Set("max_ms", Json::Number(h.max * 1e3));
+    entry.Set("mean_ms",
+              Json::Number(h.count > 0 ? h.sum / static_cast<double>(h.count) * 1e3
+                                       : 0.0));
+    latency.Set(name.substr(prefix.size()), std::move(entry));
+  }
+  Json response = OkResponse(request);
+  response.Set("queue_depth", Json::Int(static_cast<int64_t>(queue_.size())));
+  response.Set("sessions", Json::Int(static_cast<int64_t>(sessions_.size())));
+  response.Set("latency", std::move(latency));
+  response.Set("counters", std::move(counters));
+  response.Set("gauges", std::move(gauges));
+  response.Set("timers", std::move(timers));
+  return response;
+}
+
+}  // namespace fastofd

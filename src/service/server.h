@@ -1,0 +1,183 @@
+// The fastofd cleaning service: a resident daemon answering NDJSON requests
+// over a UNIX-domain or TCP socket.
+//
+// Threading model (see docs/protocol.md for the wire format):
+//
+//   listener ──accept──► one reader thread per connection
+//                              │  parse line → Request
+//                              ▼
+//                     bounded RequestQueue          (admission control:
+//                              │                     full → 503, closed
+//                              ▼                     while draining → 503)
+//                      one executor thread
+//                        · pops requests FIFO, micro-batching consecutive
+//                          `update` requests on the same session
+//                        · checks the per-request deadline (expired → 504)
+//                        · runs handlers; compute-heavy ops fan out on the
+//                          shared ThreadPool
+//                        · writes each response back on the request's
+//                          connection
+//
+// Graceful drain: NotifyShutdown() (async-signal-safe; SIGTERM handlers and
+// the `shutdown` op call it) stops the listener, closes the queue so new
+// requests are rejected with 503, lets the executor finish every queued
+// request, and only then tears connections down — no accepted request loses
+// its response. Wait() returns once the drain completes; the caller then
+// flushes metrics.
+//
+// Observability: per-op request counters and latency histograms
+// (p50/p95/p99 via `stats`), a queue-depth gauge, queue-wait and batch-size
+// histograms, and rejection/deadline counters, all in the shared
+// MetricsRegistry under `serve.*`.
+
+#ifndef FASTOFD_SERVICE_SERVER_H_
+#define FASTOFD_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "exec/thread_pool.h"
+#include "relation/partition.h"
+#include "service/json.h"
+#include "service/session.h"
+
+namespace fastofd {
+
+/// Service tunables, mirrored by `fastofd serve` flags.
+struct ServerConfig {
+  /// Path for a UNIX-domain socket; empty selects TCP.
+  std::string unix_socket;
+  /// TCP port on 127.0.0.1 (0 = ephemeral, see ServiceServer::port()).
+  int tcp_port = 0;
+  /// Worker threads of the shared execution pool.
+  int threads = 1;
+  /// Admission control: maximum queued (not yet executing) requests.
+  int queue_depth = 64;
+  /// Default per-request deadline in ms (0 = none); requests may override
+  /// with a `deadline_ms` field. The deadline covers time spent queued.
+  double default_deadline_ms = 0.0;
+  /// Maximum consecutive same-session `update` requests coalesced into one
+  /// executor batch.
+  int max_update_batch = 64;
+  /// Partition-cache budget per session, in bytes.
+  int64_t cache_budget_bytes = PartitionCache::kUnbounded;
+};
+
+class ServiceServer {
+ public:
+  /// `metrics` must outlive the server.
+  ServiceServer(ServerConfig config, MetricsRegistry* metrics);
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds, listens, and spawns the listener + executor threads.
+  Status Start();
+
+  /// Begins a graceful drain. Async-signal-safe (writes one byte to an
+  /// internal pipe); idempotent.
+  void NotifyShutdown();
+
+  /// Blocks until the drain completes and all threads are joined.
+  void Wait();
+
+  /// Bound TCP port (valid after Start() when configured for TCP).
+  int port() const { return port_; }
+
+  /// Executes one request inline on the calling thread, bypassing the
+  /// socket and queue — the deterministic core the wire path wraps.
+  /// Exposed for tests and the in-process bench.
+  Json Execute(const Json& request);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+
+  struct Request {
+    Json msg;
+    std::string op;
+    std::string session;
+    std::shared_ptr<Connection> conn;
+    double enqueue_seconds = 0.0;
+    double deadline_seconds = 0.0;  // Absolute; 0 = none.
+  };
+
+  /// Bounded MPSC queue with admission control.
+  class Queue {
+   public:
+    explicit Queue(size_t depth) : depth_(depth) {}
+    /// False when full or closed (caller responds 503).
+    bool Push(Request request);
+    /// Pops one request, or a run of consecutive same-session `update`
+    /// requests (at most `max_updates`). False when closed and empty.
+    bool PopBatch(std::vector<Request>* out, int max_updates);
+    void Close();
+    size_t size() const;
+
+   private:
+    const size_t depth_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> items_;
+    bool closed_ = false;
+  };
+
+  void ListenerLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void ExecutorLoop();
+  void BeginDrain();
+
+  void WriteResponse(Connection& conn, const Json& response);
+  void ExecuteBatch(std::vector<Request>& batch);
+
+  // --- Handlers (executor thread) ---
+  Json HandlePing(const Json& request);
+  Json HandleLoad(const Json& request);
+  Json HandleUnload(const Json& request);
+  Json HandleList(const Json& request);
+  Json HandleVerify(const Json& request);
+  Json HandleDiscover(const Json& request);
+  Json HandleClean(const Json& request);
+  Json HandleUpdate(const Json& request);
+  Json HandleStats(const Json& request);
+  Json HandleSleep(const Json& request);
+
+  const ServerConfig config_;
+  MetricsRegistry* const metrics_;
+  ThreadPool pool_;
+  SessionRegistry sessions_;
+  Queue queue_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  int shutdown_pipe_[2] = {-1, -1};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::thread listener_;
+  std::thread executor_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  int readers_active_ = 0;
+  std::condition_variable readers_cv_;
+
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_SERVICE_SERVER_H_

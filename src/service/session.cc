@@ -1,0 +1,102 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "common/csv.h"
+#include "common/timer.h"
+#include "ofd/sigma_io.h"
+
+namespace fastofd {
+
+Session::Session(std::string name, Relation rel, Ontology ontology,
+                 int64_t cache_budget_bytes, MetricsRegistry* metrics)
+    : name_(std::move(name)),
+      rel_(std::move(rel)),
+      ontology_(std::move(ontology)),
+      index_(ontology_, rel_.dict()),
+      cache_(rel_, cache_budget_bytes, metrics) {}
+
+Result<std::unique_ptr<Session>> Session::Open(
+    std::string name, const std::string& data_path,
+    const std::string& ontology_path, const std::string& sigma_path,
+    int64_t cache_budget_bytes, MetricsRegistry* metrics) {
+  Timer timer;
+  auto csv = ReadCsvFile(data_path);
+  if (!csv.ok()) return csv.status();
+  auto rel = Relation::FromCsv(csv.value());
+  if (!rel.ok()) return rel.status();
+  auto ont = ReadOntologyFile(ontology_path);
+  if (!ont.ok()) return ont.status();
+
+  std::unique_ptr<Session> session(
+      new Session(std::move(name), std::move(rel).value(),
+                  std::move(ont).value(), cache_budget_bytes, metrics));
+
+  if (!sigma_path.empty()) {
+    auto sigma = ReadSigmaFile(sigma_path, session->rel_.schema());
+    if (!sigma.ok()) return sigma.status();
+    session->sigma_ = std::move(sigma).value();
+    session->incremental_ = std::make_unique<IncrementalVerifier>(
+        &session->rel_, session->index_, session->sigma_);
+    // Pin every antecedent partition: verify requests against this session
+    // start from cache hits instead of rebuilding Π*_X.
+    for (const Ofd& ofd : session->sigma_) session->cache_.Get(ofd.lhs);
+  }
+  session->load_seconds_ = timer.Seconds();
+  return session;
+}
+
+void Session::UpdateCell(RowId row, AttrId attr, ValueId value) {
+  if (incremental_ != nullptr) {
+    incremental_->UpdateCell(row, attr, value);
+  } else {
+    rel_.SetId(row, attr, value);
+  }
+  dirty_attrs_ = dirty_attrs_.With(attr);
+}
+
+size_t Session::FlushInvalidations() {
+  if (dirty_attrs_.empty()) return 0;
+  size_t dropped = cache_.Invalidate(dirty_attrs_);
+  dirty_attrs_ = AttrSet();
+  return dropped;
+}
+
+Status SessionRegistry::Add(std::unique_ptr<Session> session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = session->name();
+  if (sessions_.count(name) != 0) {
+    return Status::Error("session '" + name + "' already exists");
+  }
+  sessions_.emplace(name, std::move(session));
+  return Status::Ok();
+}
+
+Status SessionRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(name) == 0) {
+    return Status::Error("session '" + name + "' not found");
+  }
+  return Status::Ok();
+}
+
+Session* SessionRegistry::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> SessionRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, _] : sessions_) names.push_back(name);
+  return names;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace fastofd

@@ -1,0 +1,109 @@
+// Sessions: loaded relation + ontology + Σ kept hot between requests.
+//
+// A batch CLI invocation pays CSV parsing, dictionary interning, index
+// compilation, and partition building on every call and then throws the
+// state away. A Session pays them once at `load` and keeps the stripped
+// partitions of every OFD antecedent pinned in a memory-budgeted
+// PartitionCache, plus an IncrementalVerifier so `update` requests maintain
+// violation state online instead of re-verifying from scratch.
+
+#ifndef FASTOFD_SERVICE_SESSION_H_
+#define FASTOFD_SERVICE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "ofd/incremental.h"
+#include "ofd/ofd.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+#include "relation/partition.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+/// One loaded (relation, ontology, Σ) triple with warm derived state.
+/// Sessions are owned by the SessionRegistry and used by one request at a
+/// time (the service executor serializes request execution), so the session
+/// itself needs no internal locking.
+class Session {
+ public:
+  /// Loads the files, compiles the index, builds the incremental verifier
+  /// (when Σ is given), and pre-warms the partition cache with every OFD
+  /// antecedent. `sigma_path` may be empty: verify/update then require Σ to
+  /// be supplied later or fail, but discover works.
+  static Result<std::unique_ptr<Session>> Open(std::string name,
+                                               const std::string& data_path,
+                                               const std::string& ontology_path,
+                                               const std::string& sigma_path,
+                                               int64_t cache_budget_bytes,
+                                               MetricsRegistry* metrics);
+
+  const std::string& name() const { return name_; }
+  Relation& rel() { return rel_; }
+  const Ontology& ontology() const { return ontology_; }
+  const SynonymIndex& index() const { return index_; }
+  PartitionCache& cache() { return cache_; }
+  const SigmaSet& sigma() const { return sigma_; }
+  bool has_sigma() const { return !sigma_.empty(); }
+
+  /// Null iff no Σ was loaded.
+  IncrementalVerifier* incremental() { return incremental_.get(); }
+
+  /// Applies one cell update through the incremental verifier and records
+  /// the touched attribute for partition-cache invalidation at batch end.
+  void UpdateCell(RowId row, AttrId attr, ValueId value);
+
+  /// Invalidates cached partitions over attributes touched since the last
+  /// call; returns how many entries were dropped.
+  size_t FlushInvalidations();
+
+  /// Wall-clock seconds spent inside Open() (reported by `list`).
+  double load_seconds() const { return load_seconds_; }
+
+ private:
+  Session(std::string name, Relation rel, Ontology ontology,
+          int64_t cache_budget_bytes, MetricsRegistry* metrics);
+
+  std::string name_;
+  Relation rel_;
+  Ontology ontology_;
+  SynonymIndex index_;
+  PartitionCache cache_;
+  SigmaSet sigma_;
+  std::unique_ptr<IncrementalVerifier> incremental_;
+  AttrSet dirty_attrs_;
+  double load_seconds_ = 0.0;
+};
+
+/// Name -> Session map guarding the service's `load`/`unload`/`list` ops.
+/// Thread-safe for registration; the returned Session pointers are only
+/// dereferenced by the executor thread.
+class SessionRegistry {
+ public:
+  /// Fails with "exists" if the name is taken.
+  Status Add(std::unique_ptr<Session> session);
+
+  /// Fails with "not found" if absent.
+  Status Remove(const std::string& name);
+
+  /// Nullptr when absent.
+  Session* Find(const std::string& name);
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_SERVICE_SESSION_H_

@@ -203,5 +203,29 @@ TEST(FlagsTest, ParsesForms) {
   EXPECT_EQ(f.positional()[0], "pos1");
 }
 
+TEST(FlagsTest, NegativeSpaceSeparatedValues) {
+  const char* argv[] = {"prog", "--delta", "-3",   "--tau", "-0.25",
+                        "--x",  "-1e-3",   "--flag"};
+  Flags f = Flags::Parse(8, const_cast<char**>(argv));
+  EXPECT_EQ(f.GetInt("delta", 0), -3);
+  EXPECT_DOUBLE_EQ(f.GetDouble("tau", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(f.GetDouble("x", 0.0), -1e-3);
+  EXPECT_TRUE(f.GetBool("flag", false));
+}
+
+TEST(FlagsTest, DashValueThatIsNotNumericStartsNewFlag) {
+  const char* argv[] = {"prog", "--metrics", "--out", "x.txt"};
+  Flags f = Flags::Parse(4, const_cast<char**>(argv));
+  EXPECT_TRUE(f.GetBool("metrics", false));
+  EXPECT_EQ(f.GetString("out", ""), "x.txt");
+}
+
+TEST(FlagsDeathTest, MalformedNumbersFailLoudly) {
+  const char* argv[] = {"prog", "--rows=abc", "--err=0.5x"};
+  Flags f = Flags::Parse(3, const_cast<char**>(argv));
+  EXPECT_EXIT(f.GetInt("rows", 0), testing::ExitedWithCode(2), "flag --rows");
+  EXPECT_EXIT(f.GetDouble("err", 0.0), testing::ExitedWithCode(2), "flag --err");
+}
+
 }  // namespace
 }  // namespace fastofd

@@ -146,6 +146,40 @@ TEST(MetricsTest, TextAndJsonDumps) {
   EXPECT_EQ(json.back(), '}');
 }
 
+TEST(MetricsTest, HistogramQuantilesTrackObservations) {
+  MetricsRegistry reg;
+  // 1..1000 ms uniformly: quantiles must land near the true values, within
+  // one log bucket (×1.35 relative error).
+  for (int i = 1; i <= 1000; ++i) reg.Observe("h.lat", i * 1e-3);
+  MetricsSnapshot s = reg.Snapshot();
+  const HistogramStat& h = s.histograms.at("h.lat");
+  EXPECT_EQ(h.count, 1000);
+  EXPECT_DOUBLE_EQ(h.min, 1e-3);
+  EXPECT_DOUBLE_EQ(h.max, 1.0);
+  EXPECT_NEAR(h.Quantile(0.50), 0.5, 0.5 * 0.35);
+  EXPECT_NEAR(h.Quantile(0.95), 0.95, 0.95 * 0.35);
+  EXPECT_GE(h.Quantile(0.99), h.Quantile(0.50));
+  EXPECT_LE(h.Quantile(1.0), h.max);
+  EXPECT_GE(h.Quantile(0.0), h.min);
+
+  // Diff isolates one phase's observations.
+  MetricsSnapshot before = reg.Snapshot();
+  for (int i = 0; i < 10; ++i) reg.Observe("h.lat", 2.0);
+  HistogramStat delta = reg.Snapshot().histograms.at("h.lat").Diff(
+      before.histograms.at("h.lat"));
+  EXPECT_EQ(delta.count, 10);
+  EXPECT_NEAR(delta.Quantile(0.5), 2.0, 2.0 * 0.35);
+
+  // Out-of-range values clamp into the edge buckets instead of dropping.
+  reg.Observe("h.edge", 0.0);
+  reg.Observe("h.edge", 1e12);
+  EXPECT_EQ(reg.Snapshot().histograms.at("h.edge").count, 2);
+
+  // Histograms appear in both dump formats.
+  EXPECT_NE(reg.ToText().find("hist"), std::string::npos);
+  EXPECT_NE(reg.ToJson().find("\"histograms\""), std::string::npos);
+}
+
 TEST(MetricsTest, ScopedTimerRecordsOnceAndTakesNull) {
   MetricsRegistry reg;
   { ScopedTimer t(&reg, "s.seconds"); }

@@ -199,14 +199,153 @@ TEST(IncrementalTest, RechecksOnlyAffectedClasses) {
   EXPECT_LE(inc.classes_rechecked() - initial, 1);
 }
 
-TEST(IncrementalTest, RejectsOverlappingSigma) {
-  Relation rel(Schema({"A", "B", "C"}));
-  rel.AppendRow({"1", "2", "3"});
+// Asserts the incremental verifier's full per-OFD state against fresh
+// re-verification of the (already mutated) relation.
+void ExpectMatchesFullVerification(const IncrementalVerifier& inc,
+                                   const Relation& rel,
+                                   const SynonymIndex& index,
+                                   const SigmaSet& sigma,
+                                   const std::string& context) {
+  OfdVerifier verifier(rel, index);
+  bool all = true;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    bool holds = verifier.Holds(sigma[i]);
+    all &= holds;
+    EXPECT_EQ(inc.Holds(i), holds) << context << " ofd " << i;
+  }
+  EXPECT_EQ(inc.IsConsistent(), all) << context;
+}
+
+TEST(IncrementalTest, LhsUpdateMovesRowBetweenClasses) {
+  // Two clean classes; moving a row of class x into class y brings a
+  // conflicting consequent along, and moving it back repairs the violation.
+  Relation rel(Schema({"X", "MED"}));
   Ontology ont;
+  SenseId s = ont.AddSense("s");
+  ont.AddValue(s, "g1");
+  ont.AddValue(s, "g2");
+  rel.AppendRow({"x", "g1"});
+  rel.AppendRow({"x", "g2"});
+  rel.AppendRow({"y", "other"});
+  rel.AppendRow({"y", "other"});
+  SynonymIndex index(ont, rel.dict());
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  IncrementalVerifier inc(&rel, index, sigma);
+  EXPECT_TRUE(inc.IsConsistent());
+
+  ValueId y = rel.dict().Lookup("y");
+  ValueId x = rel.dict().Lookup("x");
+  inc.UpdateCell(0, 0, y);  // Row 0 ("g1") joins class y ("other", "other").
+  EXPECT_FALSE(inc.IsConsistent());
+  EXPECT_EQ(inc.violating_classes(0), 1);
+  ExpectMatchesFullVerification(inc, rel, index, sigma, "after move");
+
+  inc.UpdateCell(0, 0, x);  // Back: both classes clean again.
+  EXPECT_TRUE(inc.IsConsistent());
+  ExpectMatchesFullVerification(inc, rel, index, sigma, "after move back");
+}
+
+TEST(IncrementalTest, RepeatedUpdatesToSameCellConverge) {
+  Relation rel(Schema({"X", "MED"}));
+  Ontology ont;
+  SenseId s = ont.AddSense("s");
+  ont.AddValue(s, "g1");
+  ont.AddValue(s, "g2");
+  rel.AppendRow({"x", "g1"});
+  rel.AppendRow({"x", "g2"});
+  SynonymIndex index(ont, rel.dict());
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  IncrementalVerifier inc(&rel, index, sigma);
+  ValueId bad = rel.mutable_dict().Intern("bad");
+  ValueId g1 = rel.dict().Lookup("g1");
+  for (int round = 0; round < 5; ++round) {
+    inc.UpdateCell(1, 1, bad);
+    EXPECT_FALSE(inc.IsConsistent()) << "round " << round;
+    inc.UpdateCell(1, 1, bad);  // Same value again: must stay a no-op.
+    EXPECT_FALSE(inc.IsConsistent()) << "round " << round;
+    ExpectMatchesFullVerification(inc, rel, index, sigma, "broken");
+    inc.UpdateCell(1, 1, g1);
+    EXPECT_TRUE(inc.IsConsistent()) << "round " << round;
+    ExpectMatchesFullVerification(inc, rel, index, sigma, "reverted");
+  }
+  EXPECT_EQ(inc.violating_classes(0), 0);
+}
+
+TEST(IncrementalTest, OverlappingSigmaInterleavedUpdates) {
+  // B is the consequent of A->B and an antecedent of B->C: one update to a
+  // B-cell must re-check A->B's class and move the row between B->C classes.
+  Relation rel(Schema({"A", "B", "C"}));
+  Ontology ont;
+  SenseId sb = ont.AddSense("sb");
+  ont.AddValue(sb, "b1");
+  ont.AddValue(sb, "b2");
+  SenseId sc = ont.AddSense("sc");
+  ont.AddValue(sc, "c1");
+  ont.AddValue(sc, "c2");
+  rel.AppendRow({"a1", "b1", "c1"});
+  rel.AppendRow({"a1", "b2", "c2"});
+  rel.AppendRow({"a2", "zz", "qq"});
+  rel.AppendRow({"a2", "zz", "qq"});
   SynonymIndex index(ont, rel.dict());
   SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym},
                     {AttrSet::Single(1), 2, OfdKind::kSynonym}};
-  EXPECT_DEATH(IncrementalVerifier(&rel, index, sigma), "CHECK failed");
+  IncrementalVerifier inc(&rel, index, sigma);
+  EXPECT_TRUE(inc.IsConsistent());
+
+  // b1 -> zz: row 0 leaves class {b1} and joins {zz, zz}; A->B's class a1
+  // loses its shared sense, and B->C's class zz now holds {c1, qq, qq}.
+  ValueId zz = rel.dict().Lookup("zz");
+  inc.UpdateCell(0, 1, zz);
+  ExpectMatchesFullVerification(inc, rel, index, sigma, "after b1->zz");
+  EXPECT_FALSE(inc.IsConsistent());
+
+  // Interleave a C update that repairs B->C's zz class.
+  ValueId qq = rel.dict().Lookup("qq");
+  inc.UpdateCell(0, 2, qq);
+  ExpectMatchesFullVerification(inc, rel, index, sigma, "after c1->qq");
+
+  // Revert the B update: A->B is clean again, and B->C goes back to the
+  // original classes (row 0's C-cell now reads qq in class b1 — still a
+  // singleton, so consistent).
+  ValueId b1 = rel.dict().Lookup("b1");
+  inc.UpdateCell(0, 1, b1);
+  ExpectMatchesFullVerification(inc, rel, index, sigma, "after revert");
+  EXPECT_TRUE(inc.IsConsistent());
+}
+
+TEST(IncrementalTest, MixedLhsRhsRandomStreamsMatchFullReverification) {
+  for (int seed = 0; seed < 4; ++seed) {
+    DataGenConfig cfg;
+    cfg.num_rows = 100;
+    cfg.num_senses = 3;
+    cfg.error_rate = 0.02;
+    cfg.seed = static_cast<uint64_t>(7400 + seed);
+    GeneratedData data = GenerateData(cfg);
+    Relation rel = data.rel;
+    SynonymIndex index(data.ontology, rel.dict());
+    IncrementalVerifier inc(&rel, index, data.sigma);
+    Rng rng(7500 + static_cast<uint64_t>(seed));
+
+    std::vector<ValueId> pool;
+    for (SenseId s = 0; s < index.num_senses(); ++s) {
+      for (ValueId v : index.SenseValues(s)) pool.push_back(v);
+    }
+    pool.push_back(rel.mutable_dict().Intern("garbage"));
+    // Reuse existing antecedent values so lhs updates merge classes too.
+    for (RowId r = 0; r < std::min<RowId>(rel.num_rows(), 10); ++r) {
+      for (AttrId a = 0; a < rel.num_attrs(); ++a) pool.push_back(rel.At(r, a));
+    }
+
+    for (int step = 0; step < 60; ++step) {
+      RowId row = static_cast<RowId>(rng.NextUint(rel.num_rows()));
+      AttrId attr = static_cast<AttrId>(rng.NextUint(rel.num_attrs()));
+      ValueId v = pool[rng.NextUint(pool.size())];
+      inc.UpdateCell(row, attr, v);
+      ExpectMatchesFullVerification(inc, rel, index, data.sigma,
+                                    "seed " + std::to_string(seed) + " step " +
+                                        std::to_string(step));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,469 @@
+// Tests for the fastofd service layer: the NDJSON codec, the in-process
+// request core, and the full socket path (admission control, deadlines,
+// micro-batching, graceful drain).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/metrics.h"
+#include "datagen/datagen.h"
+#include "ofd/sigma_io.h"
+#include "service/client.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace fastofd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json codec.
+
+TEST(JsonTest, RoundTripsScalarsAndNesting) {
+  auto parsed = Json::Parse(
+      R"({"a": 1, "b": -2.5, "c": "x\ny", "d": [true, false, null], "e": {}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Json& j = parsed.value();
+  EXPECT_EQ(j.Get("a").AsInt(), 1);
+  EXPECT_DOUBLE_EQ(j.Get("b").AsDouble(), -2.5);
+  EXPECT_EQ(j.Get("c").AsString(), "x\ny");
+  EXPECT_EQ(j.Get("d").items().size(), 3u);
+  EXPECT_TRUE(j.Get("d").At(0).AsBool());
+  // Dump -> Parse is the identity on the tree.
+  auto again = Json::Parse(j.Dump());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().Dump(), j.Dump());
+}
+
+TEST(JsonTest, IntegersSurviveExactly) {
+  auto parsed = Json::Parse(R"({"big": 1234567890123456789})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Get("big").AsInt(), 1234567890123456789LL);
+  EXPECT_NE(parsed.value().Dump().find("1234567890123456789"),
+            std::string::npos);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("{'a': 1}").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("nulll").ok());
+  // Depth bomb: 100 nested arrays exceeds the parser's depth limit.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, EscapesControlCharactersAndUnicode) {
+  auto parsed = Json::Parse(R"(["Aé\t"])");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().At(0).AsString(), "A\xc3\xa9\t");
+}
+
+// ---------------------------------------------------------------------------
+// Fixture: a generated instance on disk + helpers.
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static std::string Dir() {
+    const char* t = std::getenv("TMPDIR");
+    std::string dir = (t ? t : "/tmp");
+    dir += "/fastofd_service_test";
+    std::string cmd = "mkdir -p " + dir;
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    return dir;
+  }
+
+  void SetUp() override {
+    dir_ = Dir();
+    DataGenConfig cfg;
+    cfg.num_rows = 500;
+    cfg.error_rate = 0.03;
+    cfg.seed = 7;
+    GeneratedData data = GenerateData(cfg);
+    data_path_ = dir_ + "/d.csv";
+    ontology_path_ = dir_ + "/o.txt";
+    sigma_path_ = dir_ + "/s.txt";
+    ASSERT_TRUE(WriteCsvFile(data_path_, data.rel.ToCsv()).ok());
+    WriteText(ontology_path_, WriteOntology(data.ontology));
+    WriteText(sigma_path_, WriteSigma(data.sigma, data.rel.schema()));
+  }
+
+  static void WriteText(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+
+  static Json Req(const std::string& op, int64_t id = 1) {
+    Json r = Json::Object();
+    r.Set("id", Json::Int(id));
+    r.Set("op", Json::Str(op));
+    return r;
+  }
+
+  Json LoadReq(const std::string& session, bool with_sigma = true) {
+    Json r = Req(ops::kLoad);
+    r.Set("session", Json::Str(session));
+    r.Set("data", Json::Str(data_path_));
+    r.Set("ontology", Json::Str(ontology_path_));
+    if (with_sigma) r.Set("sigma", Json::Str(sigma_path_));
+    return r;
+  }
+
+  static Json UpdateReq(const std::string& session, int64_t row,
+                        const std::string& attr, const std::string& value) {
+    Json r = Req(ops::kUpdate);
+    r.Set("session", Json::Str(session));
+    r.Set("row", Json::Int(row));
+    r.Set("attr", Json::Str(attr));
+    r.Set("value", Json::Str(value));
+    return r;
+  }
+
+  std::string dir_, data_path_, ontology_path_, sigma_path_;
+};
+
+// ---------------------------------------------------------------------------
+// In-process core (Execute bypasses the socket and queue).
+
+TEST_F(ServiceTest, ExecuteLifecycle) {
+  MetricsRegistry metrics;
+  ServerConfig config;
+  config.threads = 2;
+  ServiceServer server(config, &metrics);
+
+  Json loaded = server.Execute(LoadReq("s1"));
+  ASSERT_TRUE(loaded.Get("ok").AsBool()) << loaded.Dump();
+  EXPECT_EQ(loaded.Get("rows").AsInt(), 500);
+  EXPECT_GT(loaded.Get("sigma_size").AsInt(), 0);
+
+  // Loading the same name again conflicts.
+  Json dup = server.Execute(LoadReq("s1"));
+  EXPECT_FALSE(dup.Get("ok").AsBool());
+  EXPECT_EQ(dup.Get("code").AsInt(), kCodeConflict);
+
+  Json verify = server.Execute(
+      [&] { Json r = Req(ops::kVerify); r.Set("session", Json::Str("s1")); return r; }());
+  ASSERT_TRUE(verify.Get("ok").AsBool()) << verify.Dump();
+  EXPECT_EQ(verify.Get("ofds").items().size(),
+            static_cast<size_t>(loaded.Get("sigma_size").AsInt()));
+
+  // An update against an unknown attribute 404s; a valid one applies and
+  // reports incremental bookkeeping.
+  Json bad = server.Execute(UpdateReq("s1", 0, "NOPE", "x"));
+  EXPECT_EQ(bad.Get("code").AsInt(), kCodeNotFound);
+  Json upd = server.Execute(UpdateReq("s1", 0, "CTX0", "some-new-value"));
+  ASSERT_TRUE(upd.Get("ok").AsBool()) << upd.Dump();
+  EXPECT_EQ(upd.Get("applied").AsInt(), 1);
+  EXPECT_TRUE(upd.Has("consistent"));
+
+  // The update dirtied CTX0: its pinned partition was invalidated.
+  EXPECT_GE(upd.Get("invalidated_partitions").AsInt(), 1);
+
+  // Verification via the incremental state agrees with a fresh verify after
+  // the update (the response is freshly computed either way).
+  Json verify2 = server.Execute(
+      [&] { Json r = Req(ops::kVerify); r.Set("session", Json::Str("s1")); return r; }());
+  ASSERT_TRUE(verify2.Get("ok").AsBool());
+
+  Json list = server.Execute(Req(ops::kList));
+  ASSERT_TRUE(list.Get("ok").AsBool());
+  EXPECT_EQ(list.Get("sessions").items().size(), 1u);
+
+  Json stats = server.Execute(Req(ops::kStats));
+  ASSERT_TRUE(stats.Get("ok").AsBool());
+  EXPECT_EQ(stats.Get("sessions").AsInt(), 1);
+
+  Json unload = Req(ops::kUnload);
+  unload.Set("session", Json::Str("s1"));
+  ASSERT_TRUE(server.Execute(unload).Get("ok").AsBool());
+  EXPECT_EQ(server.Execute(unload).Get("code").AsInt(), kCodeNotFound);
+}
+
+TEST_F(ServiceTest, ExecuteBatchedUpdatesAndUnknownOp) {
+  MetricsRegistry metrics;
+  ServiceServer server(ServerConfig{}, &metrics);
+  ASSERT_TRUE(server.Execute(LoadReq("s")).Get("ok").AsBool());
+
+  Json batch = Req(ops::kUpdate);
+  batch.Set("session", Json::Str("s"));
+  Json updates = Json::Array();
+  for (int i = 0; i < 5; ++i) {
+    Json u = Json::Object();
+    u.Set("row", Json::Int(i));
+    u.Set("attr", Json::Str("CTX0"));
+    u.Set("value", Json::Str("v" + std::to_string(i)));
+    updates.Push(std::move(u));
+  }
+  batch.Set("updates", std::move(updates));
+  Json resp = server.Execute(batch);
+  ASSERT_TRUE(resp.Get("ok").AsBool()) << resp.Dump();
+  EXPECT_EQ(resp.Get("applied").AsInt(), 5);
+
+  Json unknown = server.Execute(Req("frobnicate"));
+  EXPECT_FALSE(unknown.Get("ok").AsBool());
+  EXPECT_EQ(unknown.Get("code").AsInt(), kCodeBadRequest);
+}
+
+TEST_F(ServiceTest, ExecuteDiscoverAndCleanAgainstSession) {
+  MetricsRegistry metrics;
+  ServerConfig config;
+  config.threads = 2;
+  ServiceServer server(config, &metrics);
+  ASSERT_TRUE(server.Execute(LoadReq("s")).Get("ok").AsBool());
+
+  Json discover = Req(ops::kDiscover);
+  discover.Set("session", Json::Str("s"));
+  discover.Set("kappa", Json::Number(0.9));
+  Json dresp = server.Execute(discover);
+  ASSERT_TRUE(dresp.Get("ok").AsBool()) << dresp.Dump();
+  EXPECT_GT(dresp.Get("candidates_checked").AsInt(), 0);
+
+  Json clean = Req(ops::kClean);
+  clean.Set("session", Json::Str("s"));
+  clean.Set("out", Json::Str(dir_ + "/repaired.csv"));
+  Json cresp = server.Execute(clean);
+  ASSERT_TRUE(cresp.Get("ok").AsBool()) << cresp.Dump();
+  EXPECT_TRUE(cresp.Get("consistent").AsBool());
+  std::ifstream repaired(dir_ + "/repaired.csv");
+  EXPECT_TRUE(repaired.good());
+}
+
+// ---------------------------------------------------------------------------
+// Socket path.
+
+class ServiceSocketTest : public ServiceTest {
+ protected:
+  void StartServer(ServerConfig config) {
+    config.tcp_port = 0;  // Ephemeral.
+    server_ = std::make_unique<ServiceServer>(config, &metrics_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  ServiceClient Connect() {
+    auto client = ServiceClient::ConnectTcp(server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().message();
+    return std::move(client).value();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->NotifyShutdown();
+      server_->Wait();
+    }
+  }
+
+  MetricsRegistry metrics_;
+  std::unique_ptr<ServiceServer> server_;
+};
+
+TEST_F(ServiceSocketTest, LifecycleOverTcp) {
+  ServerConfig config;
+  config.threads = 2;
+  StartServer(config);
+  ServiceClient client = Connect();
+
+  auto loaded = client.Call(LoadReq("s1"));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().Get("ok").AsBool()) << loaded.value().Dump();
+
+  auto verify = client.Call([&] {
+    Json r = Req(ops::kVerify, 2);
+    r.Set("session", Json::Str("s1"));
+    return r;
+  }());
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify.value().Get("ok").AsBool());
+  EXPECT_EQ(verify.value().Get("id").AsInt(), 2);
+
+  auto upd = client.Call(UpdateReq("s1", 3, "CTX0", "zzz"));
+  ASSERT_TRUE(upd.ok());
+  EXPECT_TRUE(upd.value().Get("ok").AsBool());
+
+  auto stats = client.Call(Req(ops::kStats, 4));
+  ASSERT_TRUE(stats.ok());
+  // The wire path records per-op latency histograms.
+  EXPECT_TRUE(stats.value().Get("latency").Has("load"))
+      << stats.value().Dump();
+  EXPECT_GT(stats.value().Get("latency").Get("load").Get("p50_ms").AsDouble(),
+            0.0);
+}
+
+TEST_F(ServiceSocketTest, MalformedLineGets400WithoutKillingConnection) {
+  StartServer(ServerConfig{});
+  ServiceClient client = Connect();
+  ASSERT_TRUE(client.Send(Req(ops::kPing)).ok());
+  auto first = client.ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().Get("ok").AsBool());
+
+  // Raw garbage line: the reader answers 400 and keeps the connection.
+  Json garbage = Json::Str("not json at all {{{");
+  // Send the string value raw by writing a request whose Dump is invalid —
+  // instead, go through a second connection and push bytes manually is
+  // overkill; the public client always sends valid JSON, so craft the
+  // garbage as a top-level scalar which the server rejects as a request.
+  auto resp = client.Call(garbage);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp.value().Get("ok").AsBool());
+  EXPECT_EQ(resp.value().Get("code").AsInt(), kCodeBadRequest);
+
+  // Connection still serves requests.
+  auto again = client.Call(Req(ops::kPing, 9));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().Get("ok").AsBool());
+}
+
+TEST_F(ServiceSocketTest, QueueOverflowIsRejectedWith503) {
+  ServerConfig config;
+  config.queue_depth = 2;
+  StartServer(config);
+
+  // Park the executor in a sleep, then overfill the queue.
+  ServiceClient blocker = Connect();
+  Json sleep_req = Req(ops::kSleep);
+  sleep_req.Set("ms", Json::Number(400));
+  ASSERT_TRUE(blocker.Send(sleep_req).ok());
+  // Give the executor time to pop the sleep off the queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  ServiceClient flood = Connect();
+  const int kSent = 8;
+  for (int i = 0; i < kSent; ++i) {
+    ASSERT_TRUE(flood.Send(Req(ops::kPing, i)).ok());
+  }
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kSent; ++i) {
+    auto resp = flood.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << "response " << i;
+    if (resp.value().Get("ok").AsBool()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(resp.value().Get("code").AsInt(), kCodeOverloaded);
+      ++rejected;
+    }
+  }
+  // Queue holds 2; everything else must have been admission-rejected.
+  EXPECT_GE(rejected, kSent - 2 - 1);
+  EXPECT_GE(ok, 1);
+  EXPECT_TRUE(blocker.ReadResponse().ok());
+  EXPECT_GE(metrics_.Snapshot().Counter("serve.rejected"), rejected);
+}
+
+TEST_F(ServiceSocketTest, ExpiredDeadlineGets504) {
+  StartServer(ServerConfig{});
+  ServiceClient client = Connect();
+
+  Json sleep_req = Req(ops::kSleep);
+  sleep_req.Set("ms", Json::Number(300));
+  ASSERT_TRUE(client.Send(sleep_req).ok());
+
+  Json doomed = Req(ops::kPing, 2);
+  doomed.Set("deadline_ms", Json::Number(20));
+  ASSERT_TRUE(client.Send(doomed).ok());
+
+  ASSERT_TRUE(client.ReadResponse().ok());  // sleep.
+  auto resp = client.ReadResponse();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_FALSE(resp.value().Get("ok").AsBool());
+  EXPECT_EQ(resp.value().Get("code").AsInt(), kCodeDeadlineExceeded);
+  EXPECT_EQ(metrics_.Snapshot().Counter("serve.deadline_exceeded"), 1);
+}
+
+TEST_F(ServiceSocketTest, ConsecutiveUpdatesAreMicroBatched) {
+  ServerConfig config;
+  config.queue_depth = 64;
+  StartServer(config);
+  ServiceClient client = Connect();
+  auto loaded = client.Call(LoadReq("s"));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().Get("ok").AsBool());
+
+  // Park the executor so the updates pile up in the queue, then verify they
+  // are popped as one batch but answered individually.
+  Json sleep_req = Req(ops::kSleep);
+  sleep_req.Set("ms", Json::Number(200));
+  ASSERT_TRUE(client.Send(sleep_req).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const int kUpdates = 6;
+  for (int i = 0; i < kUpdates; ++i) {
+    ASSERT_TRUE(
+        client.Send(UpdateReq("s", i, "CTX0", "b" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE(client.ReadResponse().ok());  // sleep.
+  for (int i = 0; i < kUpdates; ++i) {
+    auto resp = client.ReadResponse();
+    ASSERT_TRUE(resp.ok());
+    EXPECT_TRUE(resp.value().Get("ok").AsBool()) << resp.value().Dump();
+    EXPECT_EQ(resp.value().Get("applied").AsInt(), 1);
+  }
+  EXPECT_GE(metrics_.Snapshot().Counter("serve.batches"), 1);
+}
+
+TEST_F(ServiceSocketTest, GracefulDrainAnswersEveryAcceptedRequest) {
+  StartServer(ServerConfig{});
+  ServiceClient client = Connect();
+
+  // Queue real work, then request shutdown while it is still pending.
+  Json sleep_req = Req(ops::kSleep);
+  sleep_req.Set("ms", Json::Number(150));
+  ASSERT_TRUE(client.Send(sleep_req).ok());
+  const int kPings = 4;
+  for (int i = 0; i < kPings; ++i) {
+    ASSERT_TRUE(client.Send(Req(ops::kPing, 10 + i)).ok());
+  }
+  // Let the reader enqueue everything (the sleep holds the executor, so the
+  // pings are sitting in the queue) before the drain begins.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->NotifyShutdown();
+
+  // Every accepted request still gets its response before the server closes
+  // the connection.
+  int responses = 0;
+  for (int i = 0; i < 1 + kPings; ++i) {
+    auto resp = client.ReadResponse();
+    if (!resp.ok()) break;  // Late pings may have been 503'd before accept...
+    ++responses;
+    // ...but any response that arrives is either ok or an explicit 503.
+    if (!resp.value().Get("ok").AsBool()) {
+      EXPECT_EQ(resp.value().Get("code").AsInt(), kCodeOverloaded);
+    }
+  }
+  EXPECT_EQ(responses, 1 + kPings);
+  server_->Wait();
+  server_.reset();
+}
+
+TEST_F(ServiceSocketTest, UnixSocketServesRequests) {
+  ServerConfig config;
+  std::string path = dir_ + "/test.sock";
+  config.unix_socket = path;
+  server_ = std::make_unique<ServiceServer>(config, &metrics_);
+  ASSERT_TRUE(server_->Start().ok());
+
+  auto client = ServiceClient::ConnectUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  auto resp = client.value().Call(Req(ops::kPing));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp.value().Get("ok").AsBool());
+
+  server_->NotifyShutdown();
+  server_->Wait();
+  server_.reset();
+  // Drain unlinks the socket file.
+  std::ifstream gone(path);
+  EXPECT_FALSE(gone.good());
+}
+
+}  // namespace
+}  // namespace fastofd

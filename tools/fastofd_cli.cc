@@ -16,7 +16,19 @@
 //               [--out data.csv] [--ontology-out o.txt] [--sigma-out s.txt]
 //       Generate a synthetic instance (data + ontology + Σ + ground truth).
 //
-// Flags common to all four subcommands:
+//   fastofd serve (--socket PATH | --port N) [--queue-depth D]
+//                 [--deadline-ms MS] [--max-batch B]
+//       Run the resident cleaning service (NDJSON over a UNIX-domain or
+//       loopback TCP socket; see docs/protocol.md). Drains gracefully on
+//       SIGTERM/SIGINT: in-flight requests finish, new ones get 503.
+//
+//   fastofd client (--socket PATH | --port N) <op> [op flags]
+//                  | --json '{"op": ...}'
+//       Send one request and print the response line. Op fields come from
+//       flags: --session, --data/--ontology/--sigma (load), --row/--attr
+//       /--value (update), --out (clean). Exit 0 on ok, 1 otherwise.
+//
+// Flags common to all subcommands:
 //   --threads N        worker threads for the shared execution pool
 //                      (default 1; 0 = all hardware threads). Output is
 //                      identical for any thread count. `gen` accepts the
@@ -29,6 +41,7 @@
 //                      cache in MiB (default 256; 0 = unbounded). Least
 //                      recently used partitions are evicted beyond it.
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,13 +58,17 @@
 #include "ontology/synonym_index.h"
 #include "relation/partition.h"
 #include "relation/relation.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
 
 namespace fastofd {
 namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: fastofd <discover|verify|clean|gen> [flags]\n"
+               "usage: fastofd <discover|verify|clean|gen|serve|client> "
+               "[flags]\n"
                "common flags: --threads N, --metrics[=json], --cache-mb M\n"
                "see the header of tools/fastofd_cli.cc for details\n");
   return 2;
@@ -311,6 +328,114 @@ int RunGen(const Flags& flags) {
   return 0;
 }
 
+ServiceServer* g_server = nullptr;
+
+extern "C" void HandleTermSignal(int) {
+  // Async-signal-safe: one byte down the server's self-pipe.
+  if (g_server != nullptr) g_server->NotifyShutdown();
+}
+
+int RunServe(const Flags& flags) {
+  ServerConfig config;
+  config.unix_socket = flags.GetString("socket", "");
+  config.tcp_port = static_cast<int>(flags.GetInt("port", 0));
+  if (config.unix_socket.empty() && !flags.Has("port")) {
+    std::fprintf(stderr, "error: serve requires --socket PATH or --port N\n");
+    return 2;
+  }
+  config.threads = ExecContext::ResolveThreads(flags);
+  config.queue_depth = static_cast<int>(flags.GetInt("queue-depth", 64));
+  config.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  config.max_update_batch = static_cast<int>(flags.GetInt("max-batch", 64));
+  config.cache_budget_bytes = ExecContext::ResolveCacheBudget(flags);
+
+  MetricsRegistry metrics;
+  ServiceServer server(config, &metrics);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.message().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleTermSignal);
+  std::signal(SIGINT, HandleTermSignal);
+
+  if (!config.unix_socket.empty()) {
+    std::printf("listening on %s\n", config.unix_socket.c_str());
+  } else {
+    std::printf("listening on 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);
+
+  server.Wait();
+  g_server = nullptr;
+  // Final metrics flush is part of the drain contract.
+  std::string mode = flags.GetString("metrics", "text");
+  std::string dump = mode == "json" ? metrics.ToJson() + "\n" : metrics.ToText();
+  std::fputs(dump.c_str(), stderr);
+  std::fprintf(stderr, "drained\n");
+  return 0;
+}
+
+int RunClient(const Flags& flags, const std::vector<std::string>& positional) {
+  Json request;
+  std::string raw = flags.GetString("json", "");
+  if (!raw.empty()) {
+    auto parsed = Json::Parse(raw);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: --json: %s\n",
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    request = std::move(parsed).value();
+  } else {
+    if (positional.empty()) {
+      std::fprintf(stderr,
+                   "error: client requires an op (ping|load|unload|list|verify|"
+                   "discover|clean|update|stats|shutdown) or --json\n");
+      return 2;
+    }
+    request = Json::Object();
+    request.Set("id", Json::Int(1));
+    request.Set("op", Json::Str(positional[0]));
+    // Pass through op fields that are set; the server validates the rest.
+    for (const char* key : {"session", "data", "ontology", "sigma", "out",
+                            "attr", "value"}) {
+      if (flags.Has(key)) request.Set(key, Json::Str(flags.GetString(key, "")));
+    }
+    for (const char* key : {"row", "beam", "max_level"}) {
+      if (flags.Has(key)) request.Set(key, Json::Int(flags.GetInt(key, 0)));
+    }
+    for (const char* key : {"deadline_ms", "kappa", "tau", "ms"}) {
+      if (flags.Has(key)) {
+        request.Set(key, Json::Number(flags.GetDouble(key, 0.0)));
+      }
+    }
+  }
+
+  Result<ServiceClient> client =
+      flags.Has("socket") ? ServiceClient::ConnectUnix(flags.GetString("socket", ""))
+                          : ServiceClient::ConnectTcp(
+                                static_cast<int>(flags.GetInt("port", 0)));
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().message().c_str());
+    return 1;
+  }
+  Result<Json> response = client.value().Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().message().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response.value().Dump().c_str());
+  if (!response.value().Get("ok").AsBool()) return 1;
+  // Mirror the batch CLI: a successful verify of a violated Σ exits 3.
+  if (request.Get("op").AsString() == ops::kVerify &&
+      !response.value().Get("consistent").AsBool(true)) {
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fastofd
 
@@ -323,5 +448,7 @@ int main(int argc, char** argv) {
   if (command == "verify") return RunVerify(flags);
   if (command == "clean") return RunClean(flags);
   if (command == "gen") return RunGen(flags);
+  if (command == "serve") return RunServe(flags);
+  if (command == "client") return RunClient(flags, flags.positional());
   return Usage();
 }
