@@ -7,7 +7,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -49,7 +52,7 @@ Json ErrResponse(const Json& request, int code, const std::string& message) {
 // ---------------------------------------------------------------------------
 // Queue.
 
-bool ServiceServer::Queue::Push(Request request) {
+bool ServiceServer::Queue::Push(Request&& request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_ || items_.size() >= depth_) return false;
@@ -262,7 +265,9 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         request.deadline_seconds = request.enqueue_seconds + deadline_ms / 1e3;
       }
       metrics_->Add("serve.requests." + request.op, 1);
-      const Json& msg = request.msg;  // Push moves the request away.
+      // Push only consumes the request on success, so `msg` is still valid
+      // when we build the rejection response below.
+      const Json& msg = request.msg;
       if (!queue_.Push(std::move(request))) {
         metrics_->Add("serve.rejected", 1);
         WriteResponse(*conn,
@@ -283,6 +288,10 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
     }
   }
   std::lock_guard<std::mutex> lock(conns_mu_);
+  // Drop our registry entry so a long-running daemon with connection churn
+  // does not grow conns_ without bound. Queued responses still reach the
+  // client through the shared_ptr each Request holds.
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
   --readers_active_;
   readers_cv_.notify_all();
 }
@@ -584,26 +593,47 @@ Json ServiceServer::HandleUpdate(const Json& request) {
                        "update requires row/attr/value or updates[]");
   }
 
-  int64_t before_rechecked =
-      session->incremental() != nullptr
-          ? session->incremental()->classes_rechecked()
-          : 0;
-  int applied = 0;
+  // Pass 1: validate and resolve every entry before mutating anything, so an
+  // invalid entry rejects the whole batch instead of leaving the session
+  // half-updated (with the partition cache stale over the touched attrs).
+  struct ResolvedUpdate {
+    RowId row;
+    AttrId attr;
+    const std::string* value;
+  };
+  std::vector<ResolvedUpdate> resolved;
+  resolved.reserve(updates.size());
   for (const Json* u : updates) {
-    RowId row = static_cast<RowId>(u->Get("row").AsInt(-1));
-    if (row < 0 || row >= rel.num_rows()) {
+    // Range-check as int64 before narrowing: row=4294967296 must be rejected,
+    // not wrapped to 0.
+    int64_t row64 = u->Get("row").AsInt(-1);
+    if (row64 < 0 || row64 >= static_cast<int64_t>(rel.num_rows())) {
       return ErrResponse(request, kCodeBadRequest,
                          "row out of range: " + u->Get("row").Dump());
     }
     const Json& attr_field = u->Get("attr");
-    AttrId attr = attr_field.is_string()
-                      ? rel.schema().Find(attr_field.AsString())
-                      : static_cast<AttrId>(attr_field.AsInt(-1));
-    if (attr < 0 && attr_field.is_string() && !attr_field.AsString().empty() &&
-        attr_field.AsString().find_first_not_of("0123456789") ==
-            std::string::npos) {
-      // `fastofd client update --attr 2` reaches us as the string "2".
-      attr = static_cast<AttrId>(std::stol(attr_field.AsString()));
+    AttrId attr = -1;
+    if (attr_field.is_string()) {
+      attr = rel.schema().Find(attr_field.AsString());
+      const std::string& name = attr_field.AsString();
+      if (attr < 0 && !name.empty() &&
+          name.find_first_not_of("0123456789") == std::string::npos) {
+        // `fastofd client update --attr 2` reaches us as the string "2".
+        // strtoll (not std::stol): overflow must yield a 400, not an
+        // uncaught exception that terminates the daemon.
+        errno = 0;
+        char* end = nullptr;
+        long long parsed = std::strtoll(name.c_str(), &end, 10);
+        if (errno != ERANGE && end == name.c_str() + name.size() &&
+            parsed >= 0 && parsed < static_cast<long long>(rel.num_attrs())) {
+          attr = static_cast<AttrId>(parsed);
+        }
+      }
+    } else {
+      int64_t attr64 = attr_field.AsInt(-1);
+      if (attr64 >= 0 && attr64 < static_cast<int64_t>(rel.num_attrs())) {
+        attr = static_cast<AttrId>(attr64);
+      }
     }
     if (attr < 0 || attr >= rel.num_attrs()) {
       return ErrResponse(request, kCodeNotFound,
@@ -613,8 +643,18 @@ Json ServiceServer::HandleUpdate(const Json& request) {
       return ErrResponse(request, kCodeBadRequest,
                          "update value must be a string");
     }
-    ValueId value = rel.mutable_dict().Intern(u->Get("value").AsString());
-    session->UpdateCell(row, attr, value);
+    resolved.push_back(ResolvedUpdate{static_cast<RowId>(row64), attr,
+                                      &u->Get("value").AsString()});
+  }
+
+  int64_t before_rechecked =
+      session->incremental() != nullptr
+          ? session->incremental()->classes_rechecked()
+          : 0;
+  int applied = 0;
+  for (const ResolvedUpdate& ru : resolved) {
+    ValueId value = rel.mutable_dict().Intern(*ru.value);
+    session->UpdateCell(ru.row, ru.attr, value);
     ++applied;
   }
   size_t invalidated = session->FlushInvalidations();

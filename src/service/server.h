@@ -118,8 +118,10 @@ class ServiceServer {
   class Queue {
    public:
     explicit Queue(size_t depth) : depth_(depth) {}
-    /// False when full or closed (caller responds 503).
-    bool Push(Request request);
+    /// False when full or closed (caller responds 503). The request is only
+    /// consumed on success; on rejection the caller's object is untouched so
+    /// it can still build the error response (echoing the request id).
+    bool Push(Request&& request);
     /// Pops one request, or a run of consecutive same-session `update`
     /// requests (at most `max_updates`). False when closed and empty.
     bool PopBatch(std::vector<Request>* out, int max_updates);

@@ -215,6 +215,53 @@ TEST_F(ServiceTest, ExecuteBatchedUpdatesAndUnknownOp) {
   EXPECT_EQ(unknown.Get("code").AsInt(), kCodeBadRequest);
 }
 
+TEST_F(ServiceTest, UpdateRejectsHostileInputWithoutPartialApply) {
+  MetricsRegistry metrics;
+  ServiceServer server(ServerConfig{}, &metrics);
+  ASSERT_TRUE(server.Execute(LoadReq("s")).Get("ok").AsBool());
+
+  // A numeric-looking attr string that overflows long long must be a clean
+  // 404, not an uncaught std::out_of_range that terminates the daemon.
+  Json overflow = server.Execute(UpdateReq("s", 0, "99999999999999999999", "x"));
+  EXPECT_FALSE(overflow.Get("ok").AsBool());
+  EXPECT_EQ(overflow.Get("code").AsInt(), kCodeNotFound);
+
+  // A row past int32 must be rejected, not truncated onto row 0.
+  Json wrapped = server.Execute(UpdateReq("s", int64_t{1} << 32, "CTX0", "x"));
+  EXPECT_FALSE(wrapped.Get("ok").AsBool());
+  EXPECT_EQ(wrapped.Get("code").AsInt(), kCodeBadRequest);
+
+  // A batch with one bad entry is rejected as a whole: no cells are applied
+  // (the cells_updated counter stays flat) and the session stays usable.
+  int64_t cells_before = metrics.Snapshot().Counter("serve.cells_updated");
+  Json batch = Req(ops::kUpdate);
+  batch.Set("session", Json::Str("s"));
+  Json updates = Json::Array();
+  Json good = Json::Object();
+  good.Set("row", Json::Int(0));
+  good.Set("attr", Json::Str("CTX0"));
+  good.Set("value", Json::Str("poison"));
+  updates.Push(std::move(good));
+  Json bad = Json::Object();
+  bad.Set("row", Json::Int(-5));
+  bad.Set("attr", Json::Str("CTX0"));
+  bad.Set("value", Json::Str("x"));
+  updates.Push(std::move(bad));
+  batch.Set("updates", std::move(updates));
+  Json bresp = server.Execute(batch);
+  EXPECT_FALSE(bresp.Get("ok").AsBool());
+  EXPECT_EQ(bresp.Get("code").AsInt(), kCodeBadRequest);
+  EXPECT_EQ(metrics.Snapshot().Counter("serve.cells_updated"), cells_before);
+
+  // The session still serves valid updates and verifies after the rejects.
+  Json upd = server.Execute(UpdateReq("s", 1, "CTX0", "fine"));
+  ASSERT_TRUE(upd.Get("ok").AsBool()) << upd.Dump();
+  EXPECT_EQ(upd.Get("applied").AsInt(), 1);
+  Json verify = Req(ops::kVerify);
+  verify.Set("session", Json::Str("s"));
+  EXPECT_TRUE(server.Execute(verify).Get("ok").AsBool());
+}
+
 TEST_F(ServiceTest, ExecuteDiscoverAndCleanAgainstSession) {
   MetricsRegistry metrics;
   ServerConfig config;
@@ -350,6 +397,12 @@ TEST_F(ServiceSocketTest, QueueOverflowIsRejectedWith503) {
       ++ok;
     } else {
       EXPECT_EQ(resp.value().Get("code").AsInt(), kCodeOverloaded);
+      // A rejection must echo the rejected request's id so pipelining
+      // clients can correlate it (rejections are written out of order).
+      int64_t id = resp.value().Get("id").AsInt(-1);
+      EXPECT_FALSE(resp.value().Get("id").is_null());
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, kSent);
       ++rejected;
     }
   }
