@@ -9,6 +9,7 @@
 #ifndef FASTOFD_BENCH_BENCH_COMMON_H_
 #define FASTOFD_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parse.h"
 #include "common/timer.h"
 
 namespace fastofd::bench {
@@ -84,11 +86,8 @@ class Table {
 /// emitted raw so downstream tooling gets real numbers, not strings.
 inline std::string JsonCell(const std::string& cell) {
   if (!cell.empty()) {
-    char* end = nullptr;
-    std::strtod(cell.c_str(), &end);
-    if (end != cell.c_str() && *end == '\0' && cell != "nan" && cell != "inf") {
-      return cell;
-    }
+    Result<double> parsed = ParseDouble(cell);
+    if (parsed.ok() && std::isfinite(parsed.value())) return cell;
   }
   std::string out = "\"";
   for (char c : cell) {

@@ -57,7 +57,9 @@ int main(int argc, char** argv) {
                   Fmt("%lld", static_cast<long long>(s.candidates_checked)),
                   Fmt("%lld", static_cast<long long>(s.ofds_found)),
                   Fmt("%.4f", s.seconds),
-                  Fmt("%.1f", total_ofds ? 100.0 * cum_ofds / total_ofds : 0.0),
+                  Fmt("%.1f", total_ofds ? 100.0 * static_cast<double>(cum_ofds) /
+                                               static_cast<double>(total_ofds)
+                                         : 0.0),
                   Fmt("%.1f", total_time > 0 ? 100.0 * cum_time / total_time : 0.0)});
   }
   table.Print();

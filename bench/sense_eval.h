@@ -11,8 +11,11 @@
 #define FASTOFD_BENCH_SENSE_EVAL_H_
 
 #include <string>
+#include <string_view>
 
 #include "clean/sense_assignment.h"
+#include "common/check.h"
+#include "common/parse.h"
 #include "datagen/datagen.h"
 #include "ontology/synonym_index.h"
 
@@ -49,7 +52,12 @@ inline SenseAccuracy EvaluateSenses(const GeneratedData& data,
   for (size_t i = 0; i < data.sigma.size(); ++i) {
     const auto& classes = result.partitions[i].classes();
     AttrId rhs = data.sigma[i].rhs;
-    int j = std::stoi(schema.name(rhs).substr(3));
+    // Generator layout guarantees the name is "VAL<j>"; a parse failure
+    // here means the ground-truth schema drifted, so fail loudly.
+    Result<int64_t> j_parsed =
+        ParseInt64(std::string_view(schema.name(rhs)).substr(3));
+    FASTOFD_CHECK(j_parsed.ok());
+    int j = static_cast<int>(j_parsed.value());
     AttrId lhs = schema.Find("CTX" + std::to_string(j % num_antecedents));
     for (size_t c = 0; c < classes.size(); ++c) {
       ++acc.classes;

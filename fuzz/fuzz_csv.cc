@@ -1,0 +1,34 @@
+// Fuzz harness: CSV ingestion (common/csv.h) through Relation building.
+//
+// ParseCsv must reject malformed input with a Status, never a crash; any
+// table it accepts must serialize and re-parse to the same table, and must
+// be loadable as a dictionary-coded Relation whose shape matches.
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "relation/relation.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace fastofd;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  // Headerless mode: crash-freedom only.
+  auto headerless = ParseCsv(text, /*has_header=*/false);
+  (void)headerless;
+  auto parsed = ParseCsv(text, /*has_header=*/true);
+  if (!parsed.ok()) return 0;
+  const CsvTable& table = parsed.value();
+  auto reparsed = ParseCsv(WriteCsv(table), /*has_header=*/true);
+  FASTOFD_CHECK(reparsed.ok());
+  FASTOFD_CHECK(reparsed.value().header == table.header);
+  FASTOFD_CHECK(reparsed.value().rows == table.rows);
+  auto rel = Relation::FromCsv(table);
+  if (!rel.ok()) return 0;  // E.g. duplicate attribute names.
+  FASTOFD_CHECK(static_cast<size_t>(rel.value().num_rows()) ==
+                table.rows.size());
+  FASTOFD_CHECK(static_cast<size_t>(rel.value().num_attrs()) ==
+                table.header.size());
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fuzz harness: the NDJSON wire codec (service/json.h).
+//
+// Accepting arbitrary bytes from the socket, Json::Parse must never crash,
+// and any document it accepts must round-trip: Dump() output re-parses to a
+// byte-identical Dump(). That second property is what keeps request ids
+// echoable and `stats` output machine-readable.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "service/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using fastofd::Json;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = Json::Parse(text);
+  if (!parsed.ok()) return 0;
+  std::string dump = parsed.value().Dump();
+  auto reparsed = Json::Parse(dump);
+  FASTOFD_CHECK(reparsed.ok());
+  FASTOFD_CHECK(reparsed.value().Dump() == dump);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz harness: the line-oriented ontology text format (ontology/ontology.h).
+//
+// ParseOntology must never crash on arbitrary bytes. Accepted ontologies
+// must round-trip through WriteOntology, and compiling a SynonymIndex over
+// a dictionary of every member value must pass the deep ontology audit —
+// the same validator audit builds run inside OfdClean.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/dictionary.h"
+#include "ontology/ontology.h"
+#include "ontology/synonym_index.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace fastofd;
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = ParseOntology(text);
+  if (!parsed.ok()) return 0;
+  const Ontology& ont = parsed.value();
+
+  std::string written = WriteOntology(ont);
+  auto reparsed = ParseOntology(written);
+  FASTOFD_CHECK(reparsed.ok());
+  FASTOFD_CHECK(WriteOntology(reparsed.value()) == written);
+
+  Dictionary dict;
+  for (SenseId s = 0; s < ont.num_senses(); ++s) {
+    for (const std::string& value : ont.SenseValues(s)) dict.Intern(value);
+  }
+  SynonymIndex index(ont, dict);
+  Status audit = AuditOntologyIndex(ont, dict, index);
+  FASTOFD_CHECK(audit.ok());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Fuzz harness: Σ text IO (ofd/sigma_io.h).
+//
+// ParseSigma must reject arbitrary bytes gracefully against a fixed schema,
+// and any Σ it accepts must round-trip through WriteSigma.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "ofd/sigma_io.h"
+#include "relation/schema.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace fastofd;
+  static const Schema& schema =
+      *new Schema({"A", "B", "C", "D", "CC", "CTRY", "SYMP", "MED"});
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = ParseSigma(text, schema);
+  if (!parsed.ok()) return 0;
+  std::string written = WriteSigma(parsed.value(), schema);
+  auto reparsed = ParseSigma(written, schema);
+  FASTOFD_CHECK(reparsed.ok());
+  FASTOFD_CHECK(WriteSigma(reparsed.value(), schema) == written);
+  return 0;
+}

@@ -9,7 +9,7 @@
 # Usage: scripts/collect_bench.sh [build-dir] [-- extra bench flags...]
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${1:-build}"
 shift || true
 [ "${1:-}" = "--" ] && shift

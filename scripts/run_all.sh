@@ -7,7 +7,7 @@
 # Usage: scripts/run_all.sh [build-dir]
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${1:-build}"
 
 # -e ensures a failed configure/build stops here instead of running ctest
@@ -20,7 +20,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
 : > bench_output.txt
 bench_failures=0
 for b in "$BUILD_DIR"/bench/bench_*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
+  if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
   echo "================================================================" \
     | tee -a bench_output.txt
   echo "\$ $b" | tee -a bench_output.txt

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/metrics.h"
 #include "exec/thread_pool.h"
@@ -219,6 +220,9 @@ OfdCleanResult OfdClean::Run() {
   ScopedTimer clean_timer(&metrics, "clean.seconds");
 
   SynonymIndex index(ontology_, rel_.dict());
+  // The freshly compiled index must agree with the ontology exactly; the
+  // beam search below mutates and restores it via AddValue/RemoveValue.
+  FASTOFD_AUDIT_OK(AuditOntologyIndex(ontology_, rel_.dict(), index));
   SenseAssignConfig assign_config{config_.theta};
   assign_config.pool = pool;
   assign_config.metrics = &metrics;

@@ -1,0 +1,39 @@
+#include "common/audit.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace fastofd::audit {
+
+namespace {
+
+std::atomic<int64_t> g_checks_run{0};
+std::atomic<int64_t> g_checks_failed{0};
+
+}  // namespace
+
+int64_t ChecksRun() { return g_checks_run.load(std::memory_order_relaxed); }
+
+int64_t ChecksFailed() {
+  return g_checks_failed.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+
+Status Counted(Status status) {
+  g_checks_run.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) g_checks_failed.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+void FailAbort(const char* expr, const char* file, int line,
+               const std::string& message) {
+  std::fprintf(stderr, "AUDIT failed: %s at %s:%d\n  %s\n", expr, file, line,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fastofd::audit

@@ -1,9 +1,10 @@
 #include "common/flags.h"
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
+
+#include "common/parse.h"
 
 namespace fastofd {
 
@@ -12,13 +13,7 @@ namespace {
 // True iff `arg` parses completely as a (possibly signed) number, so that
 // `--delta -3` attaches "-3" as the value of --delta instead of starting a
 // new flag.
-bool LooksNumeric(std::string_view arg) {
-  if (arg.empty()) return false;
-  const std::string s(arg);
-  char* end = nullptr;
-  std::strtod(s.c_str(), &end);
-  return end != s.c_str() && *end == '\0';
-}
+bool LooksNumeric(std::string_view arg) { return ParsesAsNumber(arg); }
 
 [[noreturn]] void DieMalformed(const std::string& name, const std::string& value,
                                const char* expected) {
@@ -56,23 +51,17 @@ Flags Flags::Parse(int argc, char** argv) {
 int64_t Flags::GetInt(const std::string& name, int64_t def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  if (end == it->second.c_str() || *end != '\0') {
-    DieMalformed(name, it->second, "an integer");
-  }
-  return v;
+  Result<int64_t> v = ParseInt64(it->second);
+  if (!v.ok()) DieMalformed(name, it->second, "an integer");
+  return v.value();
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  char* end = nullptr;
-  double v = std::strtod(it->second.c_str(), &end);
-  if (end == it->second.c_str() || *end != '\0') {
-    DieMalformed(name, it->second, "a number");
-  }
-  return v;
+  Result<double> v = ParseDouble(it->second);
+  if (!v.ok()) DieMalformed(name, it->second, "a number");
+  return v.value();
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {

@@ -1,0 +1,76 @@
+// Checked numeric parsing.
+//
+// The project bans raw std::sto* / strto* / ato* outside this header
+// (tools/lint.py rule `raw-numeric-parse`): those either throw (std::sto*),
+// silently saturate on overflow (strto* with errno unchecked), or accept
+// trailing garbage. These helpers parse the *complete* input, report
+// overflow as an error, and return Status instead of throwing, so hostile
+// wire input can never terminate a daemon.
+
+#ifndef FASTOFD_COMMON_PARSE_H_
+#define FASTOFD_COMMON_PARSE_H_
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+#include "common/status.h"
+
+namespace fastofd {
+
+/// Parses the complete string as a decimal int64. Partial parses, leading
+/// whitespace or '+', and out-of-range magnitudes are all errors.
+inline Result<int64_t> ParseInt64(std::string_view s) {
+  int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::Error("integer out of range: '" + std::string(s) + "'");
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::Error("not an integer: '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+/// Parses the complete string as a double (fixed or scientific notation,
+/// "inf"/"nan" included). Values whose magnitude overflows or underflows a
+/// double are errors rather than silently saturating to ±inf / 0.
+inline Result<double> ParseDouble(std::string_view s) {
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::Error("number out of range: '" + std::string(s) + "'");
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::Error("not a number: '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+/// Parses the complete string as a 0-based index into a container of size
+/// `limit`: an integer in [0, limit). Used to turn untrusted wire input
+/// into RowId/AttrId without unchecked narrowing.
+inline Result<int64_t> ParseIndex(std::string_view s, int64_t limit) {
+  Result<int64_t> v = ParseInt64(s);
+  if (!v.ok()) return v;
+  if (v.value() < 0 || v.value() >= limit) {
+    return Status::Error("index out of range [0, " + std::to_string(limit) +
+                         "): '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+/// True iff the complete string parses as a number (int or float). Replaces
+/// the strtod idiom for "is this cell numeric?" checks.
+inline bool ParsesAsNumber(std::string_view s) {
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  return (ec == std::errc() || ec == std::errc::result_out_of_range) &&
+         ptr == s.data() + s.size();
+}
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_PARSE_H_

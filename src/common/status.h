@@ -16,7 +16,9 @@
 namespace fastofd {
 
 /// Outcome of a fallible operation without a payload.
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed error; callers must at
+/// least branch on ok().
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -37,7 +39,7 @@ class Status {
 
 /// Outcome of a fallible operation producing a T on success.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -32,7 +32,7 @@ Ontology BuildOntology(Rng* rng, int num_senses, int values_per_sense,
         // (as real drug/country names are), which matters for the Metric FD
         // comparison.
         std::string v = "med" + std::to_string(fresh++) + "_";
-        for (int c = 0; c < 6; ++c) {
+        for (int k = 0; k < 6; ++k) {
           v.push_back(static_cast<char>('a' + rng->NextUint(26)));
         }
         ont.AddValue(sense, v);

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/timer.h"
@@ -303,6 +304,9 @@ FastOfdResult FastOfd::Discover() {
         node.partition =
             StrippedPartition::Product(p.left->partition, p.right->partition);
         node.superkey = node.partition.IsSuperkey();
+        // Audit builds re-check every product against the partition laws
+        // (and, on small relations, against a naive rebuild of Π*_X).
+        FASTOFD_AUDIT_OK(node.partition.AuditInvariants(rel_, p.combined));
       });
     }
 

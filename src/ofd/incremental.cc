@@ -1,10 +1,130 @@
 #include "ofd/incremental.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
+#include "common/audit.h"
 #include "common/check.h"
+#include "relation/partition.h"
 
 namespace fastofd {
+
+namespace {
+
+Status IncAuditError(const std::string& message) {
+  return audit::internal::Counted(
+      Status::Error("incremental audit: " + message));
+}
+
+}  // namespace
+
+Status IncrementalVerifier::AuditState() const {
+  const int64_t n = static_cast<int64_t>(rel_->num_rows());
+  const bool deep = n <= audit::kDeepAuditMaxRows;
+  int total_counted = 0;
+  for (size_t i = 0; i < sigma_.size(); ++i) {
+    const Ofd& ofd = sigma_[i];
+    const OfdState& state = states_[i];
+    const std::string tag = "ofd " + std::to_string(i) + ": ";
+    if (state.lhs_attrs != ofd.lhs.ToVector()) {
+      return IncAuditError(tag + "lhs_attrs drifted from Σ");
+    }
+    if (state.row_group.size() != static_cast<size_t>(n)) {
+      return IncAuditError(tag + "row_group has wrong size");
+    }
+    std::unordered_set<int32_t> free_set(state.free_groups.begin(),
+                                         state.free_groups.end());
+    if (free_set.size() != state.free_groups.size()) {
+      return IncAuditError(tag + "duplicate entries on the group free list");
+    }
+    std::vector<char> seen(static_cast<size_t>(n), 0);
+    int counted = 0;
+    size_t non_empty = 0;
+    for (size_t g = 0; g < state.groups.size(); ++g) {
+      const Group& group = state.groups[g];
+      if (free_set.count(static_cast<int32_t>(g)) != 0 &&
+          (!group.rows.empty() || group.counted)) {
+        return IncAuditError(tag + "free-listed group " + std::to_string(g) +
+                             " is not empty and uncounted");
+      }
+      if (!group.rows.empty()) {
+        ++non_empty;
+        LhsKey head_key = KeyFor(state, group.rows[0]);
+        auto it = state.key_to_group.find(head_key);
+        if (it == state.key_to_group.end() ||
+            it->second != static_cast<int32_t>(g)) {
+          return IncAuditError(tag + "group " + std::to_string(g) +
+                               " unreachable under its own antecedent key");
+        }
+        for (RowId r : group.rows) {
+          if (r < 0 || static_cast<int64_t>(r) >= n) {
+            return IncAuditError(tag + "row id out of range");
+          }
+          if (seen[static_cast<size_t>(r)] != 0) {
+            return IncAuditError(tag + "row " + std::to_string(r) +
+                                 " appears in two groups");
+          }
+          seen[static_cast<size_t>(r)] = 1;
+          if (state.row_group[static_cast<size_t>(r)] !=
+              static_cast<int32_t>(g)) {
+            return IncAuditError(tag + "row_group[" + std::to_string(r) +
+                                 "] disagrees with group membership");
+          }
+          if (KeyFor(state, r) != head_key) {
+            return IncAuditError(tag + "group " + std::to_string(g) +
+                                 " mixes antecedent keys");
+          }
+        }
+      }
+      if (group.counted != (group.rows.size() >= 2 && !group.ok)) {
+        return IncAuditError(tag + "group " + std::to_string(g) +
+                             " counted flag inconsistent with ok/size");
+      }
+      counted += group.counted ? 1 : 0;
+      if (deep && group.rows.size() >= 2) {
+        if (verifier_.HoldsInClass(group.rows, ofd.rhs, ofd.kind) !=
+            group.ok) {
+          return IncAuditError(tag + "group " + std::to_string(g) +
+                               " satisfaction bit disagrees with " +
+                               "re-verification");
+        }
+      }
+    }
+    for (size_t r = 0; r < seen.size(); ++r) {
+      if (seen[r] == 0) {
+        return IncAuditError(tag + "row " + std::to_string(r) +
+                             " missing from every group");
+      }
+    }
+    if (state.key_to_group.size() != non_empty) {
+      return IncAuditError(tag + "key map has " +
+                           std::to_string(state.key_to_group.size()) +
+                           " keys for " + std::to_string(non_empty) +
+                           " non-empty groups");
+    }
+    if (counted != state.violating) {
+      return IncAuditError(tag + "violating counter " +
+                           std::to_string(state.violating) +
+                           " != counted groups " + std::to_string(counted));
+    }
+    total_counted += counted;
+    if (deep) {
+      // Group maps vs full re-verification: the cached per-OFD verdict must
+      // match a from-scratch check over a freshly built Π*_lhs.
+      StrippedPartition lhs = StrippedPartition::BuildForSet(*rel_, ofd.lhs);
+      if (verifier_.Holds(ofd, lhs) != (state.violating == 0)) {
+        return IncAuditError(tag + "cached verdict disagrees with full " +
+                             "re-verification");
+      }
+    }
+  }
+  if (total_counted != total_violating_) {
+    return IncAuditError("total_violating " + std::to_string(total_violating_) +
+                         " != sum over OFDs " + std::to_string(total_counted));
+  }
+  return audit::internal::Counted(Status::Ok());
+}
 
 IncrementalVerifier::IncrementalVerifier(Relation* rel, const SynonymIndex& index,
                                          SigmaSet sigma)

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "ofd/ofd.h"
 #include "ofd/verifier.h"
 #include "ontology/synonym_index.h"
@@ -62,6 +63,16 @@ class IncrementalVerifier {
   int64_t classes_rechecked() const { return classes_rechecked_; }
 
   const SigmaSet& sigma() const { return sigma_; }
+
+  /// Deep invariant audit (common/audit.h). Structural: per OFD, the groups
+  /// partition all rows, the key map and row->group map agree with the
+  /// relation's current antecedent values, free-list entries are empty and
+  /// unreferenced, and the violation counters match the per-group flags.
+  /// On relations at or below audit::kDeepAuditMaxRows rows, additionally
+  /// cross-checks every group's satisfaction bit — and each OFD's overall
+  /// Holds() — against a full from-scratch re-verification. Returns the
+  /// first violation found.
+  Status AuditState() const;
 
  private:
   /// The dictionary-coded antecedent values of one row — the identity of its

@@ -1,7 +1,10 @@
 #include "ontology/synonym_index.h"
 
 #include <algorithm>
+#include <string>
+#include <unordered_set>
 
+#include "common/audit.h"
 #include "common/check.h"
 
 namespace fastofd {
@@ -46,6 +49,122 @@ void SynonymIndex::RemoveValue(SenseId s, ValueId v) {
   senses.erase(it);
   auto& values = sense_values_[static_cast<size_t>(s)];
   values.erase(std::find(values.begin(), values.end(), v));
+}
+
+namespace {
+
+Status OntologyAuditError(const std::string& message) {
+  return audit::internal::Counted(Status::Error("ontology audit: " + message));
+}
+
+}  // namespace
+
+Status AuditOntologyIndex(const Ontology& ontology, const Dictionary& dict,
+                          const SynonymIndex& index,
+                          bool allow_unindexed_values) {
+  // --- Is-a tree shape: parent/child agreement, ids in range, acyclic. ---
+  for (ConceptId c = 0; c < ontology.num_concepts(); ++c) {
+    ConceptId p = ontology.parent(c);
+    if (p != kInvalidConcept) {
+      if (p < 0 || p >= ontology.num_concepts()) {
+        return OntologyAuditError("concept " + std::to_string(c) +
+                                  " has out-of-range parent");
+      }
+      const std::vector<ConceptId>& siblings = ontology.children(p);
+      if (std::count(siblings.begin(), siblings.end(), c) != 1) {
+        return OntologyAuditError("concept " + std::to_string(c) +
+                                  " not listed exactly once under its parent");
+      }
+    }
+    for (ConceptId child : ontology.children(c)) {
+      if (child < 0 || child >= ontology.num_concepts() ||
+          ontology.parent(child) != c) {
+        return OntologyAuditError("child list of concept " + std::to_string(c) +
+                                  " disagrees with parent pointers");
+      }
+    }
+    // Walking parents must reach a root within num_concepts steps.
+    ConceptId cur = c;
+    for (int steps = 0; cur != kInvalidConcept; ++steps) {
+      if (steps > ontology.num_concepts()) {
+        return OntologyAuditError("is-a cycle reachable from concept " +
+                                  std::to_string(c));
+      }
+      cur = ontology.parent(cur);
+    }
+  }
+  // Senses must reference valid concepts.
+  for (SenseId s = 0; s < ontology.num_senses(); ++s) {
+    ConceptId c = ontology.sense_concept(s);
+    if (c != kInvalidConcept && (c < 0 || c >= ontology.num_concepts())) {
+      return OntologyAuditError("sense " + std::to_string(s) +
+                                " attached to out-of-range concept");
+    }
+  }
+
+  // --- Index vs ontology, sense direction. ---
+  if (index.num_senses() != ontology.num_senses()) {
+    return OntologyAuditError("index has " + std::to_string(index.num_senses()) +
+                              " senses, ontology has " +
+                              std::to_string(ontology.num_senses()));
+  }
+  for (SenseId s = 0; s < index.num_senses(); ++s) {
+    std::unordered_set<ValueId> members;
+    for (ValueId v : index.SenseValues(s)) {
+      if (v < 0 || static_cast<size_t>(v) >= dict.size()) {
+        return OntologyAuditError("sense " + std::to_string(s) +
+                                  " lists out-of-dictionary value id " +
+                                  std::to_string(v));
+      }
+      if (!members.insert(v).second) {
+        return OntologyAuditError("sense " + std::to_string(s) +
+                                  " lists value id " + std::to_string(v) +
+                                  " twice");
+      }
+      if (!ontology.SenseContains(s, dict.String(v))) {
+        return OntologyAuditError("index puts '" + dict.String(v) +
+                                  "' in sense " + std::to_string(s) +
+                                  " but the ontology does not");
+      }
+      if (!index.SenseContains(s, v)) {
+        return OntologyAuditError("sense_values/value_senses disagree for '" +
+                                  dict.String(v) + "'");
+      }
+    }
+    // Every dictionary-present ontology member must be indexed.
+    size_t expected = 0;
+    for (const std::string& value : ontology.SenseValues(s)) {
+      if (dict.Lookup(value) != kInvalidValue) ++expected;
+    }
+    bool complete = allow_unindexed_values ? expected >= members.size()
+                                           : expected == members.size();
+    if (!complete) {
+      return OntologyAuditError("sense " + std::to_string(s) + " indexes " +
+                                std::to_string(members.size()) +
+                                " values but the ontology has " +
+                                std::to_string(expected) +
+                                " dictionary-present members");
+    }
+  }
+
+  // --- Index vs ontology, value direction: Senses(v) == sorted names(v). ---
+  for (ValueId v = 0; static_cast<size_t>(v) < dict.size(); ++v) {
+    const std::vector<SenseId>& senses = index.Senses(v);
+    for (size_t i = 1; i < senses.size(); ++i) {
+      if (senses[i - 1] >= senses[i]) {
+        return OntologyAuditError("Senses('" + dict.String(v) +
+                                  "') not strictly ascending");
+      }
+    }
+    if (allow_unindexed_values && senses.empty()) continue;
+    std::vector<SenseId> expected = ontology.NamesOf(dict.String(v));
+    std::sort(expected.begin(), expected.end());
+    if (senses != expected) {
+      return OntologyAuditError("names('" + dict.String(v) +
+                                "') disagree between index and ontology");
+    }
+  }
+  return audit::internal::Counted(Status::Ok());
 }
 
 }  // namespace fastofd

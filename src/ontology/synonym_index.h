@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/dictionary.h"
+#include "common/status.h"
 #include "ontology/ontology.h"
 
 namespace fastofd {
@@ -59,6 +60,22 @@ class SynonymIndex {
   // sense id -> interned member values.
   std::vector<std::vector<ValueId>> sense_values_;
 };
+
+/// Deep invariant audit (common/audit.h): the ontology's is-a tree is
+/// well-formed (parent/child lists agree, no cycles) and the compiled index
+/// agrees with the ontology in both directions — every posting in
+/// value->senses is sorted and matches names(v), and every sense's member
+/// list is exactly its dictionary-present ontology values. Returns the
+/// first violation found.
+///
+/// `allow_unindexed_values` relaxes the equality checks to containment for
+/// values the index does not cover: the service interns new dictionary
+/// values on `update` without recompiling the session's index (a deliberate
+/// snapshot semantics), so a post-load value may legitimately be known to
+/// the ontology yet absent from the index.
+Status AuditOntologyIndex(const Ontology& ontology, const Dictionary& dict,
+                          const SynonymIndex& index,
+                          bool allow_unindexed_values = false);
 
 }  // namespace fastofd
 

@@ -1,11 +1,96 @@
 #include "relation/partition.h"
 
 #include <algorithm>
+#include <map>
+#include <string>
 
+#include "common/audit.h"
 #include "common/check.h"
 #include "common/metrics.h"
 
 namespace fastofd {
+
+namespace {
+
+Status AuditError(const std::string& message) {
+  return audit::internal::Counted(Status::Error("partition audit: " + message));
+}
+
+}  // namespace
+
+Status StrippedPartition::AuditStrippedPartitionParts(
+    const Relation& rel, AttrSet attrs,
+    const std::vector<std::vector<RowId>>& classes, int64_t sum_sizes,
+    int64_t num_rows) {
+  if (num_rows != static_cast<int64_t>(rel.num_rows())) {
+    return AuditError("num_rows " + std::to_string(num_rows) +
+                      " != relation rows " + std::to_string(rel.num_rows()));
+  }
+  std::vector<char> seen(static_cast<size_t>(num_rows), 0);
+  int64_t total = 0;
+  for (size_t ci = 0; ci < classes.size(); ++ci) {
+    const std::vector<RowId>& cls = classes[ci];
+    if (cls.size() < 2) {
+      return AuditError("class " + std::to_string(ci) +
+                        " is a singleton (stripped partitions drop those)");
+    }
+    total += static_cast<int64_t>(cls.size());
+    for (size_t k = 0; k < cls.size(); ++k) {
+      RowId r = cls[k];
+      if (r < 0 || static_cast<int64_t>(r) >= num_rows) {
+        return AuditError("row id " + std::to_string(r) + " out of range");
+      }
+      if (k > 0 && cls[k - 1] >= r) {
+        return AuditError("class " + std::to_string(ci) +
+                          " not strictly ascending at position " +
+                          std::to_string(k));
+      }
+      if (seen[static_cast<size_t>(r)] != 0) {
+        return AuditError("row " + std::to_string(r) +
+                          " appears in two classes");
+      }
+      seen[static_cast<size_t>(r)] = 1;
+      // Every row of a class must agree with the class head on all of X.
+      for (AttrId a : attrs.ToVector()) {
+        if (rel.At(r, a) != rel.At(cls[0], a)) {
+          return AuditError("class " + std::to_string(ci) +
+                            " disagrees on attribute " + std::to_string(a));
+        }
+      }
+    }
+  }
+  if (total != sum_sizes) {
+    return AuditError("sum_sizes " + std::to_string(sum_sizes) +
+                      " != actual " + std::to_string(total));
+  }
+  // Deep cross-check on small inputs: rebuild the partition naively and
+  // compare class-by-class. This re-validates the Build/Product fold (the
+  // probe-table product law Π*_X · Π*_Y = Π*_{X∪Y}) from first principles.
+  if (num_rows <= audit::kDeepAuditMaxRows) {
+    std::map<std::vector<ValueId>, std::vector<RowId>> naive;
+    for (RowId r = 0; r < static_cast<RowId>(num_rows); ++r) {
+      std::vector<ValueId> key;
+      for (AttrId a : attrs.ToVector()) key.push_back(rel.At(r, a));
+      naive[key].push_back(r);
+    }
+    std::vector<std::vector<RowId>> expected;
+    for (auto& [key, rows] : naive) {
+      if (rows.size() >= 2) expected.push_back(std::move(rows));
+    }
+    std::vector<std::vector<RowId>> actual = classes;
+    auto by_head = [](const std::vector<RowId>& a,
+                      const std::vector<RowId>& b) { return a[0] < b[0]; };
+    std::sort(expected.begin(), expected.end(), by_head);
+    std::sort(actual.begin(), actual.end(), by_head);
+    if (actual != expected) {
+      return AuditError("classes disagree with naive rebuild over attr mask " +
+                        std::to_string(attrs.mask()) + " (" +
+                        std::to_string(actual.size()) + " vs " +
+                        std::to_string(expected.size()) + " classes)");
+    }
+  }
+  return audit::internal::Counted(Status::Ok());
+}
 
 StrippedPartition StrippedPartition::Build(const Relation& rel, AttrId attr) {
   StrippedPartition p;
@@ -149,6 +234,10 @@ std::shared_ptr<const StrippedPartition> PartitionCache::Get(AttrSet attrs) {
   }
   auto p = std::make_shared<const StrippedPartition>(std::move(computed));
   int64_t cost = FootprintBytes(*p);
+  // Every partition handed out by the cache is audit-checked in audit
+  // builds — this single hook covers discovery base partitions, verify,
+  // clean, and the service's pinned antecedents.
+  FASTOFD_AUDIT_OK(p->AuditInvariants(rel_, attrs));
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(attrs);
@@ -159,6 +248,7 @@ std::shared_ptr<const StrippedPartition> PartitionCache::Get(AttrSet attrs) {
   bytes_ += cost;
   EvictToBudgetLocked(attrs);
   PublishGaugesLocked();
+  FASTOFD_AUDIT_OK(AuditInvariantsLocked());
   return p;
 }
 
@@ -188,6 +278,7 @@ size_t PartitionCache::Invalidate(AttrSet touched) {
                   static_cast<int64_t>(dropped));
   }
   PublishGaugesLocked();
+  FASTOFD_AUDIT_OK(AuditInvariantsLocked());
   return dropped;
 }
 
@@ -214,6 +305,53 @@ int64_t PartitionCache::misses() const {
 int64_t PartitionCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+Status PartitionCache::AuditInvariantsLocked() const {
+  if (lru_.size() != cache_.size()) {
+    return AuditError("cache: lru list has " + std::to_string(lru_.size()) +
+                      " entries but map has " + std::to_string(cache_.size()));
+  }
+  int64_t total = 0;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto entry_it = cache_.find(*it);
+    if (entry_it == cache_.end()) {
+      return AuditError("cache: lru entry missing from map");
+    }
+    if (entry_it->second.lru_it != it) {
+      return AuditError("cache: entry lru iterator does not point back");
+    }
+    const Entry& entry = entry_it->second;
+    if (entry.partition == nullptr) {
+      return AuditError("cache: null partition");
+    }
+    if (entry.partition->num_rows() != static_cast<int64_t>(rel_.num_rows())) {
+      return AuditError("cache: partition rows stale vs relation");
+    }
+    if (entry.bytes != FootprintBytes(*entry.partition)) {
+      return AuditError("cache: charged " + std::to_string(entry.bytes) +
+                        " bytes but footprint is " +
+                        std::to_string(FootprintBytes(*entry.partition)));
+    }
+    total += entry.bytes;
+  }
+  if (total != bytes_) {
+    return AuditError("cache: byte total " + std::to_string(bytes_) +
+                      " != sum over entries " + std::to_string(total));
+  }
+  // Eviction keeps the footprint under budget except when the sole
+  // surviving entry is the one just inserted.
+  if (bytes_ > budget_bytes_ && cache_.size() > 1) {
+    return AuditError("cache: " + std::to_string(bytes_) +
+                      " bytes exceeds budget " + std::to_string(budget_bytes_) +
+                      " with " + std::to_string(cache_.size()) + " entries");
+  }
+  return audit::internal::Counted(Status::Ok());
+}
+
+Status PartitionCache::AuditInvariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AuditInvariantsLocked();
 }
 
 }  // namespace fastofd

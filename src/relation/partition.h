@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
 #include "relation/attr_set.h"
 #include "relation/relation.h"
 
@@ -68,6 +69,24 @@ class StrippedPartition {
 
   /// True iff X is a superkey (no class of size >= 2 remains).
   bool IsSuperkey() const { return classes_.empty(); }
+
+  /// Deep invariant audit (common/audit.h): classes pairwise disjoint,
+  /// internally sorted, of size >= 2, agreeing on every attribute of
+  /// `attrs`, with consistent counters; on relations at or below
+  /// audit::kDeepAuditMaxRows rows, additionally cross-checked class-by-
+  /// class against a naive rebuild — which re-validates the Build/Product
+  /// fold this partition came from. Returns the first violation found.
+  Status AuditInvariants(const Relation& rel, AttrSet attrs) const {
+    return AuditStrippedPartitionParts(rel, attrs, classes_, sum_sizes_,
+                                       num_rows_);
+  }
+
+  /// The audit body, exposed on raw parts so tests can feed corrupted
+  /// structures and assert the violation is detected.
+  static Status AuditStrippedPartitionParts(
+      const Relation& rel, AttrSet attrs,
+      const std::vector<std::vector<RowId>>& classes, int64_t sum_sizes,
+      int64_t num_rows);
 
  private:
   std::vector<std::vector<RowId>> classes_;
@@ -129,6 +148,13 @@ class PartitionCache {
   int64_t misses() const;
   int64_t evictions() const;
 
+  /// Accounting audit (common/audit.h): the LRU list and map mirror each
+  /// other exactly, every entry's charged bytes match a recomputed
+  /// footprint, the byte total matches the sum over entries, and the budget
+  /// is respected (one oversized sole entry excepted). Returns the first
+  /// violation found.
+  Status AuditInvariants() const;
+
  private:
   struct Entry {
     std::shared_ptr<const StrippedPartition> partition;
@@ -140,6 +166,7 @@ class PartitionCache {
   // Requires mu_ held.
   void EvictToBudgetLocked(AttrSet keep);
   void PublishGaugesLocked();
+  Status AuditInvariantsLocked() const;
 
   const Relation& rel_;
   const int64_t budget_bytes_;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/parse.h"
 
 namespace fastofd {
 
@@ -296,17 +297,19 @@ class Parser {
     if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
       return Fail("invalid number");
     }
-    std::string num(text_.substr(start, pos_ - start));
-    char* end = nullptr;
+    std::string_view num = text_.substr(start, pos_ - start);
     if (is_int) {
-      long long v = std::strtoll(num.c_str(), &end, 10);
-      if (end != num.c_str() + num.size()) return Fail("invalid number");
-      *out = Json::Int(v);
-    } else {
-      double v = std::strtod(num.c_str(), &end);
-      if (end != num.c_str() + num.size()) return Fail("invalid number");
-      *out = Json::Number(v);
+      Result<int64_t> v = ParseInt64(num);
+      if (v.ok()) {
+        *out = Json::Int(v.value());
+        return Status::Ok();
+      }
+      // An integer literal too large for int64 falls through to the double
+      // path (instead of silently saturating to INT64_MAX).
     }
+    Result<double> v = ParseDouble(num);
+    if (!v.ok()) return Fail("invalid number");
+    *out = Json::Number(v.value());
     return Status::Ok();
   }
 

@@ -15,7 +15,9 @@
 #include <utility>
 
 #include "clean/repair.h"
+#include "common/audit.h"
 #include "common/csv.h"
+#include "common/parse.h"
 #include "discovery/fastofd.h"
 #include "ofd/sigma_io.h"
 #include "ofd/verifier.h"
@@ -191,6 +193,8 @@ void ServiceServer::Wait() {
     std::unique_lock<std::mutex> lock(conns_mu_);
     readers_cv_.wait(lock, [&] { return readers_active_ == 0; });
   }
+  // Every reader has moved its handle to finished_readers_; join them all.
+  ReapFinishedReaders();
   if (!config_.unix_socket.empty()) ::unlink(config_.unix_socket.c_str());
   joined_ = true;
 }
@@ -221,18 +225,30 @@ void ServiceServer::ListenerLoop() {
     if (fd < 0) continue;
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    ReapFinishedReaders();  // Connection churn must not accumulate handles.
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       conns_.push_back(conn);
       ++readers_active_;
+      auto self = readers_.emplace(readers_.end());
+      *self = std::thread([this, conn, self] { ReaderLoop(conn, self); });
     }
     metrics_->Add("serve.connections", 1);
-    std::thread([this, conn] { ReaderLoop(conn); }).detach();
   }
   BeginDrain();
 }
 
-void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+void ServiceServer::ReapFinishedReaders() {
+  std::list<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    finished.swap(finished_readers_);
+  }
+  for (std::thread& reader : finished) reader.join();
+}
+
+void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn,
+                               std::list<std::thread>::iterator self) {
   std::string buffer;
   char chunk[65536];
   for (;;) {
@@ -292,6 +308,9 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
   // does not grow conns_ without bound. Queued responses still reach the
   // client through the shared_ptr each Request holds.
   conns_.erase(std::remove(conns_.begin(), conns_.end(), conn), conns_.end());
+  // Hand our own thread handle to the reaper (joining ourselves would
+  // deadlock); splicing keeps the handle alive until someone joins it.
+  finished_readers_.splice(finished_readers_.end(), readers_, self);
   --readers_active_;
   readers_cv_.notify_all();
 }
@@ -327,7 +346,39 @@ void ServiceServer::ExecutorLoop() {
   }
 }
 
+Status ServiceServer::AuditBatchShape(const std::vector<Request>& batch) const {
+  auto fail = [](const std::string& message) {
+    return audit::internal::Counted(Status::Error("batch audit: " + message));
+  };
+  if (batch.empty()) return fail("empty batch popped");
+  if (batch.size() > 1) {
+    if (static_cast<int>(batch.size()) > config_.max_update_batch) {
+      return fail("batch of " + std::to_string(batch.size()) +
+                  " exceeds max_update_batch " +
+                  std::to_string(config_.max_update_batch));
+    }
+  }
+  for (const Request& request : batch) {
+    if (request.conn == nullptr) return fail("request without a connection");
+    if (request.op != request.msg.Get("op").AsString()) {
+      return fail("cached op '" + request.op +
+                  "' disagrees with the request message");
+    }
+    if (batch.size() > 1) {
+      if (request.op != ops::kUpdate) {
+        return fail("multi-request batch contains non-update op '" +
+                    request.op + "'");
+      }
+      if (request.session != batch.front().session) {
+        return fail("multi-request batch mixes sessions");
+      }
+    }
+  }
+  return audit::internal::Counted(Status::Ok());
+}
+
 void ServiceServer::ExecuteBatch(std::vector<Request>& batch) {
+  FASTOFD_AUDIT_OK(AuditBatchShape(batch));
   for (Request& request : batch) {
     double begin = NowSeconds();
     metrics_->Observe("serve.queue_wait", begin - request.enqueue_seconds);
@@ -373,6 +424,9 @@ Json ServiceServer::Execute(const Json& request) {
   metrics_->Add(response.Get("ok").AsBool() ? "serve.responses.ok"
                                             : "serve.responses.error",
                 1);
+  // Audit builds re-validate every session after each request: cheap ops see
+  // structural checks only; small relations also get deep re-verification.
+  FASTOFD_AUDIT_OK(sessions_.AuditInvariants());
   return response;
 }
 
@@ -616,18 +670,13 @@ Json ServiceServer::HandleUpdate(const Json& request) {
     if (attr_field.is_string()) {
       attr = rel.schema().Find(attr_field.AsString());
       const std::string& name = attr_field.AsString();
-      if (attr < 0 && !name.empty() &&
-          name.find_first_not_of("0123456789") == std::string::npos) {
+      if (attr < 0 && !name.empty()) {
         // `fastofd client update --attr 2` reaches us as the string "2".
-        // strtoll (not std::stol): overflow must yield a 400, not an
-        // uncaught exception that terminates the daemon.
-        errno = 0;
-        char* end = nullptr;
-        long long parsed = std::strtoll(name.c_str(), &end, 10);
-        if (errno != ERANGE && end == name.c_str() + name.size() &&
-            parsed >= 0 && parsed < static_cast<long long>(rel.num_attrs())) {
-          attr = static_cast<AttrId>(parsed);
-        }
+        // ParseIndex rejects overflow and out-of-range values, so a hostile
+        // attr id yields a 400 instead of terminating the daemon.
+        Result<int64_t> parsed =
+            ParseIndex(name, static_cast<int64_t>(rel.num_attrs()));
+        if (parsed.ok()) attr = static_cast<AttrId>(parsed.value());
       }
     } else {
       int64_t attr64 = attr_field.AsInt(-1);
@@ -659,6 +708,9 @@ Json ServiceServer::HandleUpdate(const Json& request) {
   }
   size_t invalidated = session->FlushInvalidations();
   metrics_->Add("serve.cells_updated", applied);
+  // The update path is where incremental state drifts if it ever will:
+  // re-check group maps (and on small relations, full Σ) immediately.
+  FASTOFD_AUDIT_OK(session->Audit());
 
   Json response = OkResponse(request);
   response.Set("applied", Json::Int(applied));

@@ -37,6 +37,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -137,12 +138,24 @@ class ServiceServer {
   };
 
   void ListenerLoop();
-  void ReaderLoop(std::shared_ptr<Connection> conn);
+  /// `self` is this reader's handle in readers_; on exit the reader moves it
+  /// to finished_readers_ for the listener (or Wait) to join.
+  void ReaderLoop(std::shared_ptr<Connection> conn,
+                  std::list<std::thread>::iterator self);
   void ExecutorLoop();
   void BeginDrain();
+  /// Joins every reader thread that has finished its loop. Cheap: joined
+  /// threads have already exited.
+  void ReapFinishedReaders();
 
   void WriteResponse(Connection& conn, const Json& response);
   void ExecuteBatch(std::vector<Request>& batch);
+
+  /// Deep invariant audit (common/audit.h): a popped batch is non-empty,
+  /// within the micro-batch bound, every request carries a live connection
+  /// and an op matching its message, and multi-request batches are runs of
+  /// same-session updates — the shape Queue::PopBatch promises.
+  Status AuditBatchShape(const std::vector<Request>& batch) const;
 
   // --- Handlers (executor thread) ---
   Json HandlePing(const Json& request);
@@ -173,6 +186,10 @@ class ServiceServer {
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
+  // Reader threads are joined, never detached: live handles sit in readers_,
+  // and each reader moves its own handle to finished_readers_ on exit.
+  std::list<std::thread> readers_;
+  std::list<std::thread> finished_readers_;
   int readers_active_ = 0;
   std::condition_variable readers_cv_;
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/audit.h"
 #include "common/csv.h"
 #include "common/timer.h"
 #include "ofd/sigma_io.h"
@@ -43,6 +44,7 @@ Result<std::unique_ptr<Session>> Session::Open(
     for (const Ofd& ofd : session->sigma_) session->cache_.Get(ofd.lhs);
   }
   session->load_seconds_ = timer.Seconds();
+  FASTOFD_AUDIT_OK(session->Audit());
   return session;
 }
 
@@ -60,6 +62,19 @@ size_t Session::FlushInvalidations() {
   size_t dropped = cache_.Invalidate(dirty_attrs_);
   dirty_attrs_ = AttrSet();
   return dropped;
+}
+
+Status Session::Audit() const {
+  // Post-load updates intern new dictionary values without recompiling the
+  // index (snapshot semantics), so the relaxed containment audit applies.
+  Status index_ok =
+      AuditOntologyIndex(ontology_, rel_.dict(), index_,
+                         /*allow_unindexed_values=*/true);
+  if (!index_ok.ok()) return index_ok;
+  Status cache_ok = cache_.AuditInvariants();
+  if (!cache_ok.ok()) return cache_ok;
+  if (incremental_ != nullptr) return incremental_->AuditState();
+  return Status::Ok();
 }
 
 Status SessionRegistry::Add(std::unique_ptr<Session> session) {
@@ -97,6 +112,24 @@ std::vector<std::string> SessionRegistry::Names() const {
 size_t SessionRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();
+}
+
+Status SessionRegistry::AuditInvariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, session] : sessions_) {
+    if (session == nullptr) {
+      return audit::internal::Counted(
+          Status::Error("registry audit: null session under '" + name + "'"));
+    }
+    if (session->name() != name) {
+      return audit::internal::Counted(
+          Status::Error("registry audit: session '" + session->name() +
+                        "' registered under key '" + name + "'"));
+    }
+    Status session_ok = session->Audit();
+    if (!session_ok.ok()) return session_ok;
+  }
+  return audit::internal::Counted(Status::Ok());
 }
 
 }  // namespace fastofd

@@ -67,6 +67,13 @@ class Session {
   /// Wall-clock seconds spent inside Open() (reported by `list`).
   double load_seconds() const { return load_seconds_; }
 
+  /// Deep invariant audit (common/audit.h): the compiled synonym index
+  /// agrees with the ontology (relaxed for values interned after load — see
+  /// AuditOntologyIndex), the partition cache's accounting matches its
+  /// contents, and, when Σ is loaded, the incremental verifier's group maps
+  /// pass AuditState. Returns the first violation found.
+  Status Audit() const;
+
  private:
   Session(std::string name, Relation rel, Ontology ontology,
           int64_t cache_budget_bytes, MetricsRegistry* metrics);
@@ -98,6 +105,11 @@ class SessionRegistry {
 
   std::vector<std::string> Names() const;
   size_t size() const;
+
+  /// Deep invariant audit (common/audit.h): every registered session is
+  /// non-null, keyed by its own name, and passes Session::Audit. Returns
+  /// the first violation found.
+  Status AuditInvariants() const;
 
  private:
   mutable std::mutex mu_;

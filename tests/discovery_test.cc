@@ -123,7 +123,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TransversalRandomTest, ::testing::Range(0, 10));
 Relation RandomRelation(uint64_t seed, int n_attrs, int n_rows, int domain) {
   Rng rng(seed);
   std::vector<std::string> names;
-  for (int a = 0; a < n_attrs; ++a) names.push_back(std::string(1, 'A' + a));
+  for (int a = 0; a < n_attrs; ++a) names.push_back(std::string(1, static_cast<char>('A' + a)));
   Relation rel((Schema(names)));
   for (int r = 0; r < n_rows; ++r) {
     std::vector<std::string> row;
@@ -262,7 +262,7 @@ OfdInstance RandomOfdInstance(uint64_t seed, int n_attrs, int n_rows) {
   cfg.seed = seed * 31 + 7;
   Ontology ont = GenerateOntology(cfg);
   std::vector<std::string> names;
-  for (int a = 0; a < n_attrs; ++a) names.push_back(std::string(1, 'A' + a));
+  for (int a = 0; a < n_attrs; ++a) names.push_back(std::string(1, static_cast<char>('A' + a)));
   Relation rel((Schema(names)));
   for (int r = 0; r < n_rows; ++r) {
     std::vector<std::string> row;

@@ -1,0 +1,82 @@
+// Unit tests for the checked numeric-parse helpers (common/parse.h) — the
+// only sanctioned numeric-parsing entry points in the tree (tools/lint.py
+// rule `raw-numeric-parse`).
+
+#include "common/parse.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fastofd {
+namespace {
+
+TEST(ParseInt64Test, ParsesPlainIntegers) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseInt64("-9223372036854775808").value(),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(ParseInt64Test, RejectsPartialParses) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12abc").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64(" 12").ok());
+  EXPECT_FALSE(ParseInt64("12 ").ok());
+  EXPECT_FALSE(ParseInt64("+12").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+}
+
+TEST(ParseInt64Test, RejectsOverflowInsteadOfSaturating) {
+  // strtoll would silently return INT64_MAX here; the checked helper errors.
+  Result<int64_t> big = ParseInt64("9223372036854775808");
+  ASSERT_FALSE(big.ok());
+  EXPECT_NE(big.status().message().find("out of range"), std::string::npos);
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ParsesFixedAndScientific) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3").value(), -3.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5E-2").value(), 0.025);
+}
+
+TEST(ParseDoubleTest, RejectsGarbageAndRangeErrors) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("nanfish").ok());
+  // Overflow to inf / underflow to 0 are reported, not silently absorbed.
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+  EXPECT_FALSE(ParseDouble("-1e999").ok());
+}
+
+TEST(ParseIndexTest, EnforcesRange) {
+  EXPECT_EQ(ParseIndex("0", 5).value(), 0);
+  EXPECT_EQ(ParseIndex("4", 5).value(), 4);
+  EXPECT_FALSE(ParseIndex("5", 5).ok());
+  EXPECT_FALSE(ParseIndex("-1", 5).ok());
+  // The int64 overflow path must also be an error, not a wrapped index.
+  EXPECT_FALSE(ParseIndex("4294967296", 5).ok());
+  EXPECT_FALSE(ParseIndex("9223372036854775808", 5).ok());
+}
+
+TEST(ParsesAsNumberTest, MatchesFlagHeuristic) {
+  EXPECT_TRUE(ParsesAsNumber("-3"));
+  EXPECT_TRUE(ParsesAsNumber("2.5e-1"));
+  EXPECT_TRUE(ParsesAsNumber("1e999"));  // Out-of-range still *looks* numeric.
+  EXPECT_FALSE(ParsesAsNumber(""));
+  EXPECT_FALSE(ParsesAsNumber("--x"));
+  EXPECT_FALSE(ParsesAsNumber("12px"));
+}
+
+}  // namespace
+}  // namespace fastofd

@@ -15,6 +15,7 @@
 #include "datagen/datagen.h"
 #include "discovery/fastofd.h"
 #include "discovery/set_cover.h"
+#include "ofd/incremental.h"
 #include "ofd/inference.h"
 #include "ofd/sigma_io.h"
 #include "ofd/verifier.h"
@@ -41,7 +42,7 @@ Instance MakeInstance(uint64_t seed, int n_attrs = 4, int n_rows = 40) {
   ocfg.seed = seed * 7 + 3;
   Ontology ont = GenerateOntology(ocfg);
   std::vector<std::string> names;
-  for (int a = 0; a < n_attrs; ++a) names.push_back(std::string(1, 'A' + a));
+  for (int a = 0; a < n_attrs; ++a) names.push_back(std::string(1, static_cast<char>('A' + a)));
   Relation rel((Schema(names)));
   for (int r = 0; r < n_rows; ++r) {
     std::vector<std::string> row;
@@ -315,6 +316,55 @@ TEST_P(PropertyTest, BurstyErrorsRepeatOneValuePerClass) {
   for (const auto& [key, values] : dirty_by_class) {
     // Burst value + a collision slot + (rare) out-of-domain fallbacks.
     EXPECT_LE(values.size(), 3u) << key;
+  }
+}
+
+TEST_P(PropertyTest, IncrementalVerifierMatchesFullReverification) {
+  // A random mixed update stream (merges, ontology values, fresh values,
+  // antecedent and consequent attributes) must keep the incremental
+  // verifier's cached verdicts equal to a from-scratch verification, and
+  // its group maps must pass the deep audit, after every single step.
+  Instance inst = MakeInstance(4200 + GetParam(), 4, 60);
+  Rng rng(97 + GetParam());
+  SynonymIndex index(inst.ontology, inst.rel.dict());
+  SigmaSet sigma;
+  sigma.push_back(Ofd{AttrSet::Single(0), 2, OfdKind::kSynonym});
+  sigma.push_back(Ofd{AttrSet().With(0).With(1), 3, OfdKind::kSynonym});
+  sigma.push_back(Ofd{AttrSet::Single(3), 1, OfdKind::kSynonym});
+  IncrementalVerifier inc(&inst.rel, index, sigma);
+  OfdVerifier full(inst.rel, index);
+
+  const RowId n = inst.rel.num_rows();
+  for (int step = 0; step < 40; ++step) {
+    RowId row = static_cast<RowId>(rng.NextUint(static_cast<uint64_t>(n)));
+    AttrId attr = static_cast<AttrId>(rng.NextUint(4));
+    ValueId value;
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      // Copy from another cell of the same column: merges classes.
+      RowId other = static_cast<RowId>(rng.NextUint(static_cast<uint64_t>(n)));
+      value = inst.rel.At(other, attr);
+    } else if (dice < 0.8) {
+      // A value the ontology knows.
+      SenseId s = static_cast<SenseId>(
+          rng.NextUint(static_cast<uint64_t>(inst.ontology.num_senses())));
+      const auto& vals = inst.ontology.SenseValues(s);
+      value = inst.rel.mutable_dict().Intern(vals[rng.NextUint(vals.size())]);
+    } else {
+      // A fresh value: splits its class off.
+      value = inst.rel.mutable_dict().Intern("fresh" + std::to_string(step));
+    }
+    inc.UpdateCell(row, attr, value);
+
+    Status audit = inc.AuditState();
+    EXPECT_TRUE(audit.ok()) << "step " << step << ": " << audit.message();
+    for (size_t i = 0; i < sigma.size(); ++i) {
+      StrippedPartition lhs =
+          StrippedPartition::BuildForSet(inst.rel, sigma[i].lhs);
+      EXPECT_EQ(inc.Holds(i), full.Holds(sigma[i], lhs))
+          << "step " << step << ", ofd " << i;
+    }
+    if (HasFailure()) break;  // One diverged step implies cascades; stop.
   }
 }
 

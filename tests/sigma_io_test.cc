@@ -6,9 +6,9 @@
 
 #include "ofd/nfd.h"
 #include "ofd/sigma_io.h"
+#include "ofd/verifier.h"
 #include "ontology/ontology.h"
 #include "ontology/synonym_index.h"
-#include "ofd/verifier.h"
 #include "relation/relation.h"
 
 namespace fastofd {

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules that neither the compiler nor clang-tidy enforce.
+
+Rules (each can be suppressed on a specific line with `lint:allow(<rule>)`
+in a trailing comment):
+
+  raw-numeric-parse   std::sto*/strto*/ato* are banned outside
+                      src/common/parse.h: they accept partial input and
+                      (for ato*) hide overflow. Use ParseInt64/ParseDouble/
+                      ParseIndex, which reject both.
+  unchecked-rowid     static_cast<RowId>/<AttrId> of a wire-derived int64
+                      must sit within a few lines of an explicit range
+                      check (or ParseIndex) — narrowing 2^32 to 0 turns an
+                      invalid request into a silent write to row 0.
+  detached-thread     .detach() is banned: a detached thread outlives
+                      shutdown and races destructors. Store the handle and
+                      join it (see ServiceServer's reader reaping).
+  nodiscard-status    Status and Result must keep their [[nodiscard]]
+                      attribute so the compiler rejects swallowed errors.
+  header-guard        Headers under src/ use FASTOFD_<PATH>_H_ guards.
+  include-order       Within a block of consecutive #include lines, quoted
+                      project includes are sorted and come after system
+                      includes; a .cc file's first include is its own
+                      header.
+
+Usage: tools/lint.py [paths...]   (defaults to src tools tests bench fuzz
+                                   examples)
+Exit code 0 = clean, 1 = findings, 2 = usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+DEFAULT_ROOTS = ["src", "tools", "tests", "bench", "fuzz", "examples"]
+
+RAW_PARSE_RE = re.compile(
+    r"\b(?:std::)?(?:stoi|stol|stoll|stoul|stoull|stof|stod|stold|"
+    r"strtol|strtoll|strtoul|strtoull|strtof|strtod|strtold|"
+    r"atoi|atol|atoll|atof)\s*\("
+)
+NARROW_CAST_RE = re.compile(r"static_cast<(?:RowId|AttrId)>\s*\(")
+RANGE_CHECK_RE = re.compile(
+    r"ParseIndex|num_rows|num_attrs|< 0|>= 0|FASTOFD_CHECK|in range|NextUint"
+)
+# How many preceding lines may hold the range check. Generous on purpose:
+# the rule targets casts of wire-derived values with *no* validation in the
+# surrounding logic, not casts far from (but guarded by) an early return.
+RANGE_CHECK_WINDOW = 50
+DETACH_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
+INCLUDE_RE = re.compile(r'^#include\s+(["<])([^">]+)[">]')
+ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
+
+# Files allowed to use raw numeric parsing: the checked helpers themselves.
+RAW_PARSE_ALLOWED = {os.path.join("src", "common", "parse.h")}
+
+
+def allowed(line, rule):
+    m = ALLOW_RE.search(line)
+    return m is not None and m.group(1) == rule
+
+
+def is_comment(line):
+    stripped = line.lstrip()
+    return stripped.startswith("//") or stripped.startswith("*")
+
+
+def lint_file(path, findings):
+    rel = os.path.relpath(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except (OSError, UnicodeDecodeError) as e:
+        findings.append((rel, 0, "io", str(e)))
+        return
+
+    check_raw_parse(rel, lines, findings)
+    check_narrow_casts(rel, lines, findings)
+    check_detach(rel, lines, findings)
+    check_includes(rel, lines, findings)
+    if rel.endswith(".h") and rel.startswith("src" + os.sep):
+        check_header_guard(rel, lines, findings)
+    if rel == os.path.join("src", "common", "status.h"):
+        check_nodiscard(rel, lines, findings)
+
+
+def check_raw_parse(rel, lines, findings):
+    if rel in RAW_PARSE_ALLOWED:
+        return
+    for i, line in enumerate(lines, 1):
+        if is_comment(line) or allowed(line, "raw-numeric-parse"):
+            continue
+        if RAW_PARSE_RE.search(line):
+            findings.append(
+                (rel, i, "raw-numeric-parse",
+                 "use common/parse.h (ParseInt64/ParseDouble/ParseIndex) "
+                 "instead of raw numeric parsing")
+            )
+
+
+def check_narrow_casts(rel, lines, findings):
+    for i, line in enumerate(lines, 1):
+        if is_comment(line) or allowed(line, "unchecked-rowid"):
+            continue
+        if not NARROW_CAST_RE.search(line):
+            continue
+        window = lines[max(0, i - 1 - RANGE_CHECK_WINDOW): i + 1]
+        if not any(RANGE_CHECK_RE.search(w) for w in window):
+            findings.append(
+                (rel, i, "unchecked-rowid",
+                 "narrowing to RowId/AttrId without a nearby range check; "
+                 "validate against num_rows()/num_attrs() (or ParseIndex) "
+                 "first")
+            )
+
+
+def check_detach(rel, lines, findings):
+    for i, line in enumerate(lines, 1):
+        if is_comment(line) or allowed(line, "detached-thread"):
+            continue
+        if DETACH_RE.search(line):
+            findings.append(
+                (rel, i, "detached-thread",
+                 "detached threads outlive shutdown; store the handle and "
+                 "join it")
+            )
+
+
+def check_nodiscard(rel, lines, findings):
+    text = "\n".join(lines)
+    for cls in ("class [[nodiscard]] Status", "class [[nodiscard]] Result"):
+        if cls not in text:
+            findings.append(
+                (rel, 1, "nodiscard-status",
+                 f"expected `{cls}`: the attribute is what makes dropped "
+                 "Status values a compile error")
+            )
+
+
+def expected_guard(rel):
+    # src/ofd/incremental.h -> FASTOFD_OFD_INCREMENTAL_H_
+    inner = rel[len("src" + os.sep):]
+    token = re.sub(r"[^A-Za-z0-9]", "_", inner.upper())
+    return f"FASTOFD_{token}_"
+
+
+def check_header_guard(rel, lines, findings):
+    guard = expected_guard(rel)
+    text = "\n".join(lines)
+    if (f"#ifndef {guard}" not in text or f"#define {guard}" not in text
+            or f"#endif  // {guard}" not in text):
+        findings.append(
+            (rel, 1, "header-guard",
+             f"expected guard {guard} (#ifndef/#define/#endif  // {guard})")
+        )
+
+
+def check_includes(rel, lines, findings):
+    if not rel.endswith(".cc"):
+        return
+    blocks = []  # list of (start_line, [(kind, path)])
+    current = None
+    for i, line in enumerate(lines, 1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            if current is None:
+                current = (i, [])
+                blocks.append(current)
+            current[1].append((m.group(1), m.group(2), i, line))
+        else:
+            # Any non-include line — blank lines included — ends the block:
+            # blank-separated groups (own header / system / project) are
+            # each checked on their own.
+            current = None
+
+    if not blocks:
+        return
+
+    # A .cc file's first include is its own header (when one exists).
+    base = os.path.splitext(rel)[0]
+    own = None
+    for root in ("src", "fuzz", "tools"):
+        if rel.startswith(root + os.sep):
+            candidate = base + ".h"
+            if os.path.exists(candidate):
+                own = os.path.relpath(candidate, start=os.path.dirname(rel)) \
+                    if root != "src" else candidate[len("src" + os.sep):]
+                own = own.replace(os.sep, "/")
+    first_kind, first_path, first_line, _ = blocks[0][1][0]
+    if own is not None and (first_kind != '"' or first_path != own):
+        findings.append(
+            (rel, first_line, "include-order",
+             f'first include must be the file\'s own header "{own}"')
+        )
+
+    for _, entries in blocks:
+        # Within one contiguous block: system includes (<>) precede project
+        # includes (""), and each group is sorted.
+        kinds = [k for k, _, _, _ in entries]
+        if '"' in kinds and "<" in kinds and kinds.index('"') < (
+                len(kinds) - 1 - kinds[::-1].index("<")):
+            sysline = entries[len(kinds) - 1 - kinds[::-1].index("<")][2]
+            findings.append(
+                (rel, sysline, "include-order",
+                 "system includes (<...>) must precede project includes "
+                 '("...") within a block')
+            )
+            continue
+        for kind in ('"', "<"):
+            grp = [(p, ln) for k, p, ln, raw in entries
+                   if k == kind and not allowed(raw, "include-order")]
+            # Skip the own-header include, which leads its block by rule.
+            if kind == '"' and own is not None and grp and grp[0][0] == own:
+                grp = grp[1:]
+            paths = [p for p, _ in grp]
+            if paths != sorted(paths):
+                bad = next(ln for j, (p, ln) in enumerate(grp)
+                           if paths[j] != sorted(paths)[j])
+                findings.append(
+                    (rel, bad, "include-order",
+                     "includes within a block must be sorted")
+                )
+                break
+
+
+def main(argv):
+    roots = argv[1:] or DEFAULT_ROOTS
+    files = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, _, names in os.walk(root):
+            for name in sorted(names):
+                if name.endswith((".h", ".cc", ".cpp")):
+                    files.append(os.path.join(dirpath, name))
+    if not files:
+        print("lint.py: no input files", file=sys.stderr)
+        return 2
+
+    findings = []
+    for path in sorted(files):
+        lint_file(path, findings)
+
+    for rel, line, rule, msg in findings:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    print(f"lint.py: {len(files)} files, {len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
