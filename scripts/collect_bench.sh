@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
 # Runs the benchmark harnesses that support --json and aggregates their
-# tables into two machine-readable files at the repo root:
-#   BENCH_core.json  — core pipeline benches (scale, parallelism, incremental)
+# tables into two machine-readable files:
+#   BENCH_core.json  — core pipeline benches (scale, parallelism, incremental,
+#                      flat partition micro-kernels)
 #   BENCH_serve.json — the service-mode bench (warm sessions, update latency,
 #                      closed-loop tail latency, drain)
 # Each file is a JSON array of {"bench", "columns", "rows"} tables.
+#
+# Output goes to the repo root by default; set BENCH_OUT_DIR to write
+# somewhere else (CI writes fresh JSON to a scratch dir and compares it
+# against the committed baselines with tools/bench_gate.py).
 #
 # Usage: scripts/collect_bench.sh [build-dir] [-- extra bench flags...]
 
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 BUILD_DIR="${1:-build}"
+OUT_DIR="${BENCH_OUT_DIR:-.}"
+mkdir -p "$OUT_DIR"
 shift || true
 [ "${1:-}" = "--" ] && shift
 
@@ -30,7 +37,7 @@ ndjson_to_array() {
   printf ']\n'
 }
 
-CORE_BENCHES=(bench_exp1_scale_n_tuples bench_ext_parallel bench_ext_incremental)
+CORE_BENCHES=(bench_micro_core bench_exp1_scale_n_tuples bench_ext_parallel bench_ext_incremental)
 : > "$TMP/core.ndjson"
 for b in "${CORE_BENCHES[@]}"; do
   bin="$BUILD_DIR/bench/$b"
@@ -42,15 +49,15 @@ for b in "${CORE_BENCHES[@]}"; do
   "$bin" --json "$TMP/$b.ndjson" "$@" > /dev/null
   cat "$TMP/$b.ndjson" >> "$TMP/core.ndjson"
 done
-ndjson_to_array "$TMP/core.ndjson" > BENCH_core.json
-echo "wrote BENCH_core.json ($(wc -l < "$TMP/core.ndjson") tables)" >&2
+ndjson_to_array "$TMP/core.ndjson" > "$OUT_DIR/BENCH_core.json"
+echo "wrote $OUT_DIR/BENCH_core.json ($(wc -l < "$TMP/core.ndjson") tables)" >&2
 
 SERVE_BIN="$BUILD_DIR/bench/bench_serve"
 if [ -x "$SERVE_BIN" ]; then
   echo "running bench_serve ..." >&2
   "$SERVE_BIN" --json "$TMP/serve.ndjson" "$@" > /dev/null
-  ndjson_to_array "$TMP/serve.ndjson" > BENCH_serve.json
-  echo "wrote BENCH_serve.json ($(wc -l < "$TMP/serve.ndjson") tables)" >&2
+  ndjson_to_array "$TMP/serve.ndjson" > "$OUT_DIR/BENCH_serve.json"
+  echo "wrote $OUT_DIR/BENCH_serve.json ($(wc -l < "$TMP/serve.ndjson") tables)" >&2
 else
   echo "skipping bench_serve (not built)" >&2
 fi

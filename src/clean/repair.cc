@@ -22,7 +22,7 @@ namespace {
 // the class covered by λ; falls back to the sense's canonical value, then to
 // the class majority value (λ invalid / nothing covered).
 ValueId RepairValue(const Relation& rel, const SynonymIndex& index,
-                    const std::vector<RowId>& rows, AttrId rhs, SenseId sense) {
+                    RowSpan rows, AttrId rhs, SenseId sense) {
   std::unordered_map<ValueId, int64_t> freq;
   for (RowId r : rows) ++freq[rel.At(r, rhs)];
   ValueId best_covered = kInvalidValue;
@@ -72,7 +72,7 @@ RepairResult RepairData(const Relation& rel, const SynonymIndex& index,
     RowId a, b;
     int ofd, cls;
   };
-  auto class_violating = [&](const std::vector<RowId>& rows, AttrId rhs,
+  auto class_violating = [&](RowSpan rows, AttrId rhs,
                              SenseId sense) {
     ValueId first = out.At(rows[0], rhs);
     bool all_equal = true;

@@ -16,7 +16,7 @@ namespace fastofd {
 namespace {
 
 // Frequency map of consequent values within a class.
-ValueHistogram ClassFrequencies(const Relation& rel, const std::vector<RowId>& rows,
+ValueHistogram ClassFrequencies(const Relation& rel, RowSpan rows,
                                 AttrId rhs) {
   ValueHistogram freq;
   for (RowId r : rows) ++freq[rel.At(r, rhs)];
@@ -55,7 +55,7 @@ ValueId Canonical(const SynonymIndex& index, SenseId sense) {
 // Distribution of rows' consequent values interpreted under `sense`:
 // covered values collapse to the canonical value.
 ValueHistogram Interpret(const Relation& rel, const SynonymIndex& index,
-                         const std::vector<RowId>& rows, AttrId rhs, SenseId sense) {
+                         RowSpan rows, AttrId rhs, SenseId sense) {
   ValueHistogram hist;
   ValueId canonical = Canonical(index, sense);
   for (RowId r : rows) {
@@ -77,7 +77,7 @@ SenseSelector::SenseSelector(const Relation& rel, const SynonymIndex& index,
 
 SenseId SenseSelector::InitialAssignment(const Relation& rel,
                                          const SynonymIndex& index,
-                                         const std::vector<RowId>& rows, AttrId rhs,
+                                         RowSpan rows, AttrId rhs,
                                          ValueOrdering ordering) {
   ValueHistogram freq = ClassFrequencies(rel, rows, rhs);
   std::vector<std::pair<ValueId, int64_t>> ranked(freq.begin(), freq.end());

@@ -88,7 +88,7 @@ class SenseSelector {
   /// Initial_Assignment (Algorithm 5) for one class: ranked-value prefix
   /// intersection, ties broken by tuple coverage. Exposed for tests.
   static SenseId InitialAssignment(const Relation& rel, const SynonymIndex& index,
-                                   const std::vector<RowId>& rows, AttrId rhs,
+                                   RowSpan rows, AttrId rhs,
                                    ValueOrdering ordering = ValueOrdering::kMadDeviation);
 
  private:

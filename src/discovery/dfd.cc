@@ -93,8 +93,9 @@ class Dfd : public FdAlgorithm {
     } else {
       AttrId first = x.First();
       const StrippedPartition& rest = Partition(x.Without(first));
-      StrippedPartition single = StrippedPartition::Build(*rel_, first);
-      p = StrippedPartition::Product(rest, single);
+      // Refine directly by the column: skips building the single-attribute
+      // partition that Product would need.
+      p = StrippedPartition::Refine(rest, *rel_, first);
     }
     return partitions_.emplace(x, std::move(p)).first->second;
   }

@@ -93,7 +93,9 @@ FastOfdResult FastOfd::Discover() {
     }
     if (config_.min_support < 1.0) {
       Ofd ofd{AttrSet(), rhs, config_.kind};
-      return verifier_.Support(ofd, lhs_partition) >= config_.min_support;
+      // Early-exit form: abandons the class scan once the remaining tuples
+      // cannot lift support back over the threshold.
+      return verifier_.SupportAtLeast(ofd, lhs_partition, config_.min_support);
     }
     for (const auto& cls : lhs_partition.classes()) {
       scratch.values_scanned += static_cast<int64_t>(cls.size());
@@ -298,16 +300,29 @@ FastOfdResult FastOfd::Discover() {
       // `next` is not resized after this point, so per-element writes from
       // different workers are safe.
       ScopedTimer products_timer(&metrics, "discover.products.seconds");
-      pool->ParallelFor(pending.size(), [&](size_t i, int) {
-        const Pending& p = pending[i];
-        Node& node = next.at(p.combined);
-        node.partition =
-            StrippedPartition::Product(p.left->partition, p.right->partition);
-        node.superkey = node.partition.IsSuperkey();
-        // Audit builds re-check every product against the partition laws
-        // (and, on small relations, against a naive rebuild of Π*_X).
-        FASTOFD_AUDIT_OK(node.partition.AuditInvariants(rel_, p.combined));
-      });
+      if (pending.size() < static_cast<size_t>(pool->num_threads())) {
+        // Too few products to occupy the pool across candidates: go wide
+        // *inside* each product instead (chunked over the outer classes;
+        // output is byte-identical to the serial kernel).
+        for (const Pending& p : pending) {
+          Node& node = next.at(p.combined);
+          node.partition = StrippedPartition::ProductParallel(
+              p.left->partition, p.right->partition, pool);
+          node.superkey = node.partition.IsSuperkey();
+          FASTOFD_AUDIT_OK(node.partition.AuditInvariants(rel_, p.combined));
+        }
+      } else {
+        pool->ParallelFor(pending.size(), [&](size_t i, int) {
+          const Pending& p = pending[i];
+          Node& node = next.at(p.combined);
+          node.partition =
+              StrippedPartition::Product(p.left->partition, p.right->partition);
+          node.superkey = node.partition.IsSuperkey();
+          // Audit builds re-check every product against the partition laws
+          // (and, on small relations, against a naive rebuild of Π*_X).
+          FASTOFD_AUDIT_OK(node.partition.AuditInvariants(rel_, p.combined));
+        });
+      }
     }
 
     stats.seconds = timer.Seconds();

@@ -10,7 +10,7 @@ namespace fastofd {
 namespace {
 
 // Distinct values of `attr` among `rows` (sorted).
-std::vector<ValueId> DistinctValues(const Relation& rel, const std::vector<RowId>& rows,
+std::vector<ValueId> DistinctValues(const Relation& rel, RowSpan rows,
                                     AttrId attr) {
   std::vector<ValueId> vals;
   vals.reserve(rows.size());
@@ -67,8 +67,7 @@ bool OfdVerifier::InheritanceClassHolds(const std::vector<ValueId>& distinct) co
   return false;
 }
 
-bool OfdVerifier::HoldsInClass(const std::vector<RowId>& rows, AttrId rhs,
-                               OfdKind kind) const {
+bool OfdVerifier::HoldsInClass(RowSpan rows, AttrId rhs, OfdKind kind) const {
   std::vector<ValueId> distinct = DistinctValues(rel_, rows, rhs);
   return kind == OfdKind::kSynonym ? SynonymClassHolds(distinct)
                                    : InheritanceClassHolds(distinct);
@@ -109,6 +108,39 @@ double OfdVerifier::Support(const Ofd& ofd,
     satisfied += best;
   }
   return static_cast<double>(satisfied) / static_cast<double>(rel_.num_rows());
+}
+
+bool OfdVerifier::SupportAtLeast(const Ofd& ofd,
+                                 const StrippedPartition& lhs_partition,
+                                 double kappa) const {
+  FASTOFD_CHECK(ofd.kind == OfdKind::kSynonym);
+  if (rel_.num_rows() == 0) return 1.0 >= kappa;
+  const double num_rows = static_cast<double>(rel_.num_rows());
+  int64_t satisfied = lhs_partition.num_rows() - lhs_partition.sum_sizes();
+  // Tuples in classes not yet scanned; even if every one of them were
+  // satisfiable, support tops out at (satisfied + remaining) / |I|.
+  int64_t remaining = lhs_partition.sum_sizes();
+  std::unordered_map<SenseId, int64_t> sense_tuples;
+  std::unordered_map<ValueId, int64_t> literal_tuples;
+  for (const auto& cls : lhs_partition.classes()) {
+    sense_tuples.clear();
+    literal_tuples.clear();
+    for (RowId r : cls) {
+      ValueId v = rel_.At(r, ofd.rhs);
+      ++literal_tuples[v];
+      for (SenseId s : index_.Senses(v)) ++sense_tuples[s];
+    }
+    int64_t best = 0;
+    for (const auto& [_, n] : literal_tuples) best = std::max(best, n);
+    for (const auto& [_, n] : sense_tuples) best = std::max(best, n);
+    satisfied += best;
+    remaining -= static_cast<int64_t>(cls.size());
+    if (static_cast<double>(satisfied + remaining) / num_rows < kappa) {
+      return false;  // Error budget exceeded: no later class can recover.
+    }
+  }
+  // No early exit: identical comparison to Support(...) >= kappa.
+  return static_cast<double>(satisfied) / num_rows >= kappa;
 }
 
 SynonymSavings OfdVerifier::Savings(const Ofd& ofd,

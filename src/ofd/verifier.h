@@ -52,13 +52,22 @@ class OfdVerifier {
   bool Holds(const Ofd& ofd, const StrippedPartition& lhs_partition) const;
 
   /// Satisfaction within one equivalence class (rows of the class).
-  bool HoldsInClass(const std::vector<RowId>& rows, AttrId rhs, OfdKind kind) const;
+  bool HoldsInClass(RowSpan rows, AttrId rhs, OfdKind kind) const;
 
   /// Approximate-OFD support s(φ)/|I| (paper §4): the max fraction of tuples
   /// retaining which the OFD holds, computed per class as the best of
   /// (a) the most frequent sense's tuple coverage and (b) the most frequent
   /// single literal value.
   double Support(const Ofd& ofd, const StrippedPartition& lhs_partition) const;
+
+  /// Early-exit form of Support for the discovery hot path: returns
+  /// Support(...) >= kappa, but stops scanning classes as soon as the
+  /// tuples already lost exceed the (1 - kappa) * |I| error budget — the
+  /// e(X->A) > threshold cutoff for approximate verification. Agrees with
+  /// Support on the boundary (same final comparison when no early exit
+  /// fires).
+  bool SupportAtLeast(const Ofd& ofd, const StrippedPartition& lhs_partition,
+                      double kappa) const;
 
   /// Exp-5 statistic for a (presumably satisfied) OFD.
   SynonymSavings Savings(const Ofd& ofd, const StrippedPartition& lhs_partition) const;

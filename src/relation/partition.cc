@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "common/audit.h"
 #include "common/check.h"
 #include "common/metrics.h"
+#include "exec/thread_pool.h"
 
 namespace fastofd {
 
@@ -17,6 +19,48 @@ Status AuditError(const std::string& message) {
 }
 
 }  // namespace
+
+PartitionScratch& StrippedPartition::ThreadLocalScratch() {
+  static thread_local PartitionScratch scratch;
+  return scratch;
+}
+
+Status StrippedPartition::AuditFlatParts(const std::vector<RowId>& rows,
+                                         const std::vector<uint32_t>& offsets,
+                                         int64_t num_rows) {
+  if (offsets.empty()) {
+    if (!rows.empty()) {
+      return AuditError("arena holds " + std::to_string(rows.size()) +
+                        " rows but the offset array is empty");
+    }
+    return audit::internal::Counted(Status::Ok());
+  }
+  if (offsets.size() < 2) {
+    return AuditError("offset array has a single entry (needs class bounds)");
+  }
+  if (offsets.front() != 0) {
+    return AuditError("first offset is " + std::to_string(offsets.front()) +
+                      ", expected 0");
+  }
+  if (offsets.back() != rows.size()) {
+    return AuditError("last offset " + std::to_string(offsets.back()) +
+                      " does not cover the arena of " +
+                      std::to_string(rows.size()) + " rows");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1] + 2) {
+      return AuditError("class " + std::to_string(i - 1) +
+                        " spans fewer than 2 rows (offsets " +
+                        std::to_string(offsets[i - 1]) + ".." +
+                        std::to_string(offsets[i]) + ")");
+    }
+  }
+  if (static_cast<int64_t>(rows.size()) > num_rows) {
+    return AuditError("arena of " + std::to_string(rows.size()) +
+                      " rows exceeds relation rows " + std::to_string(num_rows));
+  }
+  return audit::internal::Counted(Status::Ok());
+}
 
 Status StrippedPartition::AuditStrippedPartitionParts(
     const Relation& rel, AttrSet attrs,
@@ -64,8 +108,9 @@ Status StrippedPartition::AuditStrippedPartitionParts(
                       " != actual " + std::to_string(total));
   }
   // Deep cross-check on small inputs: rebuild the partition naively and
-  // compare class-by-class. This re-validates the Build/Product fold (the
-  // probe-table product law Π*_X · Π*_Y = Π*_{X∪Y}) from first principles.
+  // compare class-by-class. This re-validates the Build/Intersect/Refine
+  // fold (the probe-table product law Π*_X · Π*_Y = Π*_{X∪Y}) from first
+  // principles.
   if (num_rows <= audit::kDeepAuditMaxRows) {
     std::map<std::vector<ValueId>, std::vector<RowId>> naive;
     for (RowId r = 0; r < static_cast<RowId>(num_rows); ++r) {
@@ -92,20 +137,58 @@ Status StrippedPartition::AuditStrippedPartitionParts(
   return audit::internal::Counted(Status::Ok());
 }
 
+Status StrippedPartition::AuditInvariants(const Relation& rel, AttrSet attrs) const {
+  Status flat = AuditFlatParts(rows_, offsets_, num_rows_);
+  if (!flat.ok()) return flat;
+  return AuditStrippedPartitionParts(rel, attrs, ToClassVectors(), sum_sizes(),
+                                     num_rows_);
+}
+
+std::vector<std::vector<RowId>> StrippedPartition::ToClassVectors() const {
+  std::vector<std::vector<RowId>> out(NumClassesSize());
+  for (size_t i = 0; i < out.size(); ++i) {
+    RowSpan cls = Class(i);
+    out[i].assign(cls.begin(), cls.end());
+  }
+  return out;
+}
+
 StrippedPartition StrippedPartition::Build(const Relation& rel, AttrId attr) {
   StrippedPartition p;
   p.num_rows_ = rel.num_rows();
   const std::vector<ValueId>& col = rel.Column(attr);
-  // Group rows by value id. Value ids are dense, so bucket directly.
-  std::vector<std::vector<RowId>> buckets(rel.dict().size());
+  const size_t num_values = rel.dict().size();
+  // Counting sort over the dense value ids, emitted straight into the arena:
+  // count each value, give every value with count >= 2 a contiguous slot
+  // range, then scatter the rows (ascending r keeps classes sorted).
+  std::vector<int32_t> counts(num_values, 0);
   for (RowId r = 0; r < rel.num_rows(); ++r) {
-    buckets[static_cast<size_t>(col[static_cast<size_t>(r)])].push_back(r);
+    ++counts[static_cast<size_t>(col[static_cast<size_t>(r)])];
   }
-  for (auto& bucket : buckets) {
-    if (bucket.size() >= 2) {
-      p.sum_sizes_ += static_cast<int64_t>(bucket.size());
-      p.classes_.push_back(std::move(bucket));
+  std::vector<int32_t> slot(num_values, -1);
+  size_t pos = 0;
+  size_t kept = 0;
+  for (size_t v = 0; v < num_values; ++v) {
+    if (counts[v] >= 2) {
+      slot[v] = static_cast<int32_t>(pos);
+      pos += static_cast<size_t>(counts[v]);
+      ++kept;
     }
+  }
+  if (kept == 0) return p;
+  p.rows_.resize(pos);
+  p.offsets_.reserve(kept + 1);
+  p.offsets_.push_back(0);
+  uint32_t cum = 0;
+  for (size_t v = 0; v < num_values; ++v) {
+    if (counts[v] >= 2) {
+      cum += static_cast<uint32_t>(counts[v]);
+      p.offsets_.push_back(cum);
+    }
+  }
+  for (RowId r = 0; r < rel.num_rows(); ++r) {
+    int32_t& s = slot[static_cast<size_t>(col[static_cast<size_t>(r)])];
+    if (s >= 0) p.rows_[static_cast<size_t>(s++)] = r;
   }
   return p;
 }
@@ -115,52 +198,297 @@ StrippedPartition StrippedPartition::BuildForSet(const Relation& rel, AttrSet at
     StrippedPartition p;
     p.num_rows_ = rel.num_rows();
     if (rel.num_rows() >= 2) {
-      std::vector<RowId> all(static_cast<size_t>(rel.num_rows()));
-      for (RowId r = 0; r < rel.num_rows(); ++r) all[static_cast<size_t>(r)] = r;
-      p.sum_sizes_ = rel.num_rows();
-      p.classes_.push_back(std::move(all));
+      p.rows_.resize(static_cast<size_t>(rel.num_rows()));
+      for (RowId r = 0; r < rel.num_rows(); ++r) {
+        p.rows_[static_cast<size_t>(r)] = r;
+      }
+      p.offsets_ = {0, static_cast<uint32_t>(rel.num_rows())};
     }
     return p;
   }
   std::vector<AttrId> attr_list = attrs.ToVector();
   StrippedPartition p = Build(rel, attr_list[0]);
-  for (size_t i = 1; i < attr_list.size(); ++i) {
-    p = Product(p, Build(rel, attr_list[i]));
+  StrippedPartition next;
+  PartitionScratch& scratch = ThreadLocalScratch();
+  for (size_t i = 1; i < attr_list.size() && !p.IsSuperkey(); ++i) {
+    RefineInto(p, rel.Column(attr_list[i]), rel.dict().size(), &scratch, &next);
+    std::swap(p, next);
   }
   return p;
 }
 
 StrippedPartition StrippedPartition::Product(const StrippedPartition& a,
                                              const StrippedPartition& b) {
-  FASTOFD_CHECK(a.num_rows_ == b.num_rows_);
   StrippedPartition out;
-  out.num_rows_ = a.num_rows_;
+  IntersectInto(a, b, &ThreadLocalScratch(), &out);
+  return out;
+}
 
-  // probe[r] = index of r's class in `a`, or -1 if r is a singleton in a.
-  std::vector<int32_t> probe(static_cast<size_t>(a.num_rows_), -1);
-  for (size_t ci = 0; ci < a.classes_.size(); ++ci) {
-    for (RowId r : a.classes_[ci]) probe[static_cast<size_t>(r)] = static_cast<int32_t>(ci);
-  }
+StrippedPartition StrippedPartition::Refine(const StrippedPartition& a,
+                                            const Relation& rel, AttrId attr) {
+  StrippedPartition out;
+  RefineInto(a, rel.Column(attr), rel.dict().size(), &ThreadLocalScratch(), &out);
+  return out;
+}
 
-  std::vector<std::vector<RowId>> scratch(a.classes_.size());
-  std::vector<int32_t> touched;
-  for (const auto& cls_b : b.classes_) {
-    touched.clear();
-    for (RowId r : cls_b) {
-      int32_t ci = probe[static_cast<size_t>(r)];
+void StrippedPartition::EmitIntersection(const StrippedPartition& outer, size_t first,
+                                         size_t last, const std::vector<int32_t>& probe,
+                                         PartitionScratch* scratch,
+                                         std::vector<RowId>* rows,
+                                         std::vector<uint32_t>* offsets) {
+  std::vector<int32_t>& counts = scratch->counts_;
+  std::vector<int32_t>& slot = scratch->slot_;
+  std::vector<int32_t>& touched = scratch->touched_;
+  for (size_t oc = first; oc < last; ++oc) {
+    const uint32_t begin = outer.offsets_[oc];
+    const uint32_t end = outer.offsets_[oc + 1];
+    // Pass 1: count this outer class's rows per probe-side class.
+    for (uint32_t k = begin; k < end; ++k) {
+      int32_t ci = probe[static_cast<size_t>(outer.rows_[k])];
       if (ci < 0) continue;
-      if (scratch[static_cast<size_t>(ci)].empty()) touched.push_back(ci);
-      scratch[static_cast<size_t>(ci)].push_back(r);
+      if (counts[static_cast<size_t>(ci)]++ == 0) touched.push_back(ci);
+    }
+    if (touched.empty()) continue;
+    // Assign each surviving group (count >= 2) a contiguous slot range at
+    // the end of the arena; groups appear in first-touch order, which is
+    // deterministic and independent of chunking.
+    const size_t old_size = rows->size();
+    size_t pos = old_size;
+    for (int32_t ci : touched) {
+      int32_t c = counts[static_cast<size_t>(ci)];
+      if (c < 2) continue;
+      slot[static_cast<size_t>(ci)] = static_cast<int32_t>(pos);
+      pos += static_cast<size_t>(c);
+      if (offsets->empty()) offsets->push_back(0);
+      offsets->push_back(static_cast<uint32_t>(pos));
+    }
+    if (pos != old_size) {
+      rows->resize(pos);
+      // Pass 2: scatter. Iterating the outer class in order keeps every
+      // emitted class strictly ascending.
+      for (uint32_t k = begin; k < end; ++k) {
+        RowId r = outer.rows_[k];
+        int32_t ci = probe[static_cast<size_t>(r)];
+        if (ci < 0) continue;
+        int32_t& s = slot[static_cast<size_t>(ci)];
+        if (s >= 0) (*rows)[static_cast<size_t>(s++)] = r;
+      }
     }
     for (int32_t ci : touched) {
-      auto& group = scratch[static_cast<size_t>(ci)];
-      if (group.size() >= 2) {
-        out.sum_sizes_ += static_cast<int64_t>(group.size());
-        out.classes_.push_back(std::move(group));
-        group = {};
-      } else {
-        group.clear();
+      counts[static_cast<size_t>(ci)] = 0;
+      slot[static_cast<size_t>(ci)] = -1;
+    }
+    touched.clear();
+  }
+}
+
+void StrippedPartition::IntersectInto(const StrippedPartition& a,
+                                      const StrippedPartition& b,
+                                      PartitionScratch* scratch,
+                                      StrippedPartition* out) {
+  FASTOFD_CHECK(a.num_rows_ == b.num_rows_);
+  FASTOFD_CHECK(out != &a && out != &b);
+  out->num_rows_ = a.num_rows_;
+  out->rows_.clear();
+  out->offsets_.clear();
+  if (a.IsSuperkey() || b.IsSuperkey()) return;  // Product with ⊥ is ⊥.
+  if (a.IsAllRowsClass()) {  // Product with the identity copies the operand.
+    out->rows_ = b.rows_;
+    out->offsets_ = b.offsets_;
+    return;
+  }
+  if (b.IsAllRowsClass()) {
+    out->rows_ = a.rows_;
+    out->offsets_ = a.offsets_;
+    return;
+  }
+  // Probe from the smaller side: the probe table costs one write per
+  // probe-side row, so putting the bigger operand on the outer loop keeps
+  // total work at min + max instead of 2 * max.
+  const bool a_probes = a.sum_sizes() <= b.sum_sizes();
+  const StrippedPartition& probe_side = a_probes ? a : b;
+  const StrippedPartition& outer = a_probes ? b : a;
+  scratch->EnsureRows(static_cast<size_t>(a.num_rows_));
+  scratch->EnsureClasses(probe_side.NumClassesSize());
+  std::vector<int32_t>& probe = scratch->probe_;
+  const size_t num_probe_classes = probe_side.NumClassesSize();
+  for (size_t ci = 0; ci < num_probe_classes; ++ci) {
+    for (RowId r : probe_side.Class(ci)) {
+      probe[static_cast<size_t>(r)] = static_cast<int32_t>(ci);
+    }
+  }
+  EmitIntersection(outer, 0, outer.NumClassesSize(), probe, scratch, &out->rows_,
+                   &out->offsets_);
+  // Reset only the touched probe entries so the next call starts clean
+  // without an O(num_rows) clear.
+  for (RowId r : probe_side.rows()) probe[static_cast<size_t>(r)] = -1;
+}
+
+void StrippedPartition::RefineInto(const StrippedPartition& a,
+                                   const std::vector<ValueId>& column,
+                                   size_t num_values, PartitionScratch* scratch,
+                                   StrippedPartition* out) {
+  FASTOFD_CHECK(out != &a);
+  out->num_rows_ = a.num_rows_;
+  out->rows_.clear();
+  out->offsets_.clear();
+  if (a.IsSuperkey()) return;
+  scratch->EnsureValues(num_values);
+  std::vector<int32_t>& counts = scratch->val_counts_;
+  std::vector<int32_t>& slot = scratch->val_slot_;
+  std::vector<ValueId>& touched = scratch->touched_vals_;
+  const size_t num_classes = a.NumClassesSize();
+  for (size_t ac = 0; ac < num_classes; ++ac) {
+    const uint32_t begin = a.offsets_[ac];
+    const uint32_t end = a.offsets_[ac + 1];
+    // Same two-pass shape as EmitIntersection, but keyed by the column's
+    // value id directly — the column's own partition is never built.
+    for (uint32_t k = begin; k < end; ++k) {
+      ValueId v = column[static_cast<size_t>(a.rows_[k])];
+      if (counts[static_cast<size_t>(v)]++ == 0) touched.push_back(v);
+    }
+    const size_t old_size = out->rows_.size();
+    size_t pos = old_size;
+    for (ValueId v : touched) {
+      int32_t c = counts[static_cast<size_t>(v)];
+      if (c < 2) continue;
+      slot[static_cast<size_t>(v)] = static_cast<int32_t>(pos);
+      pos += static_cast<size_t>(c);
+      if (out->offsets_.empty()) out->offsets_.push_back(0);
+      out->offsets_.push_back(static_cast<uint32_t>(pos));
+    }
+    if (pos != old_size) {
+      out->rows_.resize(pos);
+      for (uint32_t k = begin; k < end; ++k) {
+        RowId r = a.rows_[k];
+        int32_t& s = slot[static_cast<size_t>(column[static_cast<size_t>(r)])];
+        if (s >= 0) out->rows_[static_cast<size_t>(s++)] = r;
       }
+    }
+    for (ValueId v : touched) {
+      counts[static_cast<size_t>(v)] = 0;
+      slot[static_cast<size_t>(v)] = -1;
+    }
+    touched.clear();
+  }
+}
+
+int64_t StrippedPartition::IntersectError(const StrippedPartition& a,
+                                          const StrippedPartition& b,
+                                          PartitionScratch* scratch,
+                                          int64_t max_error) {
+  FASTOFD_CHECK(a.num_rows_ == b.num_rows_);
+  if (a.IsSuperkey() || b.IsSuperkey()) return 0;
+  if (a.IsAllRowsClass()) return b.error();
+  if (b.IsAllRowsClass()) return a.error();
+  const bool a_probes = a.sum_sizes() <= b.sum_sizes();
+  const StrippedPartition& probe_side = a_probes ? a : b;
+  const StrippedPartition& outer = a_probes ? b : a;
+  scratch->EnsureRows(static_cast<size_t>(a.num_rows_));
+  scratch->EnsureClasses(probe_side.NumClassesSize());
+  std::vector<int32_t>& probe = scratch->probe_;
+  const size_t num_probe_classes = probe_side.NumClassesSize();
+  for (size_t ci = 0; ci < num_probe_classes; ++ci) {
+    for (RowId r : probe_side.Class(ci)) {
+      probe[static_cast<size_t>(r)] = static_cast<int32_t>(ci);
+    }
+  }
+  std::vector<int32_t>& counts = scratch->counts_;
+  std::vector<int32_t>& touched = scratch->touched_;
+  int64_t err = 0;
+  const size_t num_outer = outer.NumClassesSize();
+  for (size_t oc = 0; oc < num_outer && err <= max_error; ++oc) {
+    const uint32_t begin = outer.offsets_[oc];
+    const uint32_t end = outer.offsets_[oc + 1];
+    for (uint32_t k = begin; k < end; ++k) {
+      int32_t ci = probe[static_cast<size_t>(outer.rows_[k])];
+      if (ci < 0) continue;
+      if (counts[static_cast<size_t>(ci)]++ == 0) touched.push_back(ci);
+    }
+    for (int32_t ci : touched) {
+      int32_t c = counts[static_cast<size_t>(ci)];
+      if (c >= 2) err += c - 1;
+      counts[static_cast<size_t>(ci)] = 0;
+    }
+    touched.clear();
+  }
+  // err is exact when <= max_error; any larger value only signals "over
+  // threshold" (the remaining outer classes were skipped).
+  for (RowId r : probe_side.rows()) probe[static_cast<size_t>(r)] = -1;
+  return err;
+}
+
+StrippedPartition StrippedPartition::ProductParallel(const StrippedPartition& a,
+                                                     const StrippedPartition& b,
+                                                     ThreadPool* pool) {
+  FASTOFD_CHECK(a.num_rows_ == b.num_rows_);
+  // Below this arena size the probe fill dominates; the serial kernel wins.
+  constexpr int64_t kMinParallelRows = 1 << 14;
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      a.sum_sizes() + b.sum_sizes() < kMinParallelRows || a.IsSuperkey() ||
+      b.IsSuperkey() || a.IsAllRowsClass() || b.IsAllRowsClass()) {
+    return Product(a, b);
+  }
+  const bool a_probes = a.sum_sizes() <= b.sum_sizes();
+  const StrippedPartition& probe_side = a_probes ? a : b;
+  const StrippedPartition& outer = a_probes ? b : a;
+  // The probe table is shared read-only across workers; each worker emits
+  // into its own chunk arena with its thread-local counts/slots.
+  std::vector<int32_t> probe(static_cast<size_t>(a.num_rows_), -1);
+  const size_t num_probe_classes = probe_side.NumClassesSize();
+  for (size_t ci = 0; ci < num_probe_classes; ++ci) {
+    for (RowId r : probe_side.Class(ci)) {
+      probe[static_cast<size_t>(r)] = static_cast<int32_t>(ci);
+    }
+  }
+  // Chunk the outer classes into contiguous ranges balanced by arena rows.
+  // Per-class emission is independent, so concatenating chunk outputs in
+  // chunk order reproduces the serial class order byte-for-byte no matter
+  // how many chunks or threads there are.
+  const size_t num_classes = outer.NumClassesSize();
+  const size_t num_chunks =
+      std::min(num_classes, static_cast<size_t>(pool->num_threads()) * 4);
+  std::vector<size_t> bounds(num_chunks + 1, 0);
+  const uint64_t total_rows = outer.rows_.size();
+  for (size_t i = 1; i < num_chunks; ++i) {
+    const uint32_t target = static_cast<uint32_t>(total_rows * i / num_chunks);
+    size_t c = static_cast<size_t>(
+        std::lower_bound(outer.offsets_.begin(), outer.offsets_.end(), target) -
+        outer.offsets_.begin());
+    if (c > num_classes) c = num_classes;
+    bounds[i] = std::max(bounds[i - 1], c);
+  }
+  bounds[num_chunks] = num_classes;
+
+  struct Chunk {
+    std::vector<RowId> rows;
+    std::vector<uint32_t> offsets;
+  };
+  std::vector<Chunk> chunks(num_chunks);
+  pool->ParallelFor(num_chunks, [&](size_t i, int /*worker*/) {
+    PartitionScratch& scratch = ThreadLocalScratch();
+    scratch.EnsureClasses(num_probe_classes);
+    EmitIntersection(outer, bounds[i], bounds[i + 1], probe, &scratch,
+                     &chunks[i].rows, &chunks[i].offsets);
+  });
+
+  StrippedPartition out;
+  out.num_rows_ = a.num_rows_;
+  size_t out_rows = 0;
+  size_t out_classes = 0;
+  for (const Chunk& c : chunks) {
+    out_rows += c.rows.size();
+    if (!c.offsets.empty()) out_classes += c.offsets.size() - 1;
+  }
+  if (out_classes == 0) return out;
+  out.rows_.reserve(out_rows);
+  out.offsets_.reserve(out_classes + 1);
+  out.offsets_.push_back(0);
+  for (const Chunk& c : chunks) {
+    const uint32_t base = static_cast<uint32_t>(out.rows_.size());
+    out.rows_.insert(out.rows_.end(), c.rows.begin(), c.rows.end());
+    for (size_t j = 1; j < c.offsets.size(); ++j) {
+      out.offsets_.push_back(base + c.offsets[j]);
     }
   }
   return out;
@@ -180,9 +508,7 @@ PartitionCache::PartitionCache(const Relation& rel, int64_t budget_bytes,
 }
 
 int64_t PartitionCache::FootprintBytes(const StrippedPartition& p) {
-  return static_cast<int64_t>(sizeof(StrippedPartition)) +
-         p.num_classes() * static_cast<int64_t>(sizeof(std::vector<RowId>)) +
-         p.sum_sizes() * static_cast<int64_t>(sizeof(RowId));
+  return static_cast<int64_t>(sizeof(StrippedPartition)) + p.AllocatedBytes();
 }
 
 void PartitionCache::PublishGaugesLocked() {
@@ -229,9 +555,11 @@ std::shared_ptr<const StrippedPartition> PartitionCache::Get(AttrSet attrs) {
   } else {
     AttrId first = attrs.First();
     std::shared_ptr<const StrippedPartition> rest = Get(attrs.Without(first));
-    computed = StrippedPartition::Product(*rest,
-                                          StrippedPartition::Build(rel_, first));
+    computed = StrippedPartition::Refine(*rest, rel_, first);
   }
+  // Cached entries are long-lived: release the kernels' growth slack so the
+  // budget pays for rows actually held, not high-water capacity.
+  computed.Compact();
   auto p = std::make_shared<const StrippedPartition>(std::move(computed));
   int64_t cost = FootprintBytes(*p);
   // Every partition handed out by the cache is audit-checked in audit

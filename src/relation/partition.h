@@ -1,14 +1,22 @@
-// Stripped-partition algebra (TANE-style).
+// Stripped-partition algebra (TANE-style) on a flat arena layout.
 //
 // A partition Π_X groups tuples with equal X-values into equivalence
 // classes; the *stripped* partition Π*_X drops singleton classes, which can
 // never violate an FD or OFD (paper Lemma 3.8 / Opt-4 context). Products of
 // stripped partitions are computed with the linear probe-table algorithm, so
 // level-wise lattice search costs O(rows) per candidate.
+//
+// Memory layout: one contiguous RowId buffer holding every class's rows
+// back to back, plus a class-offset array (class i spans
+// rows[offsets[i], offsets[i+1])). No per-class heap allocation, cache-line
+// friendly scans, and a PartitionScratch probe table that lets
+// IntersectInto/RefineInto run with zero allocations in steady state. See
+// docs/architecture.md ("Flat partition kernels") for the full picture.
 
 #ifndef FASTOFD_RELATION_PARTITION_H_
 #define FASTOFD_RELATION_PARTITION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <list>
@@ -23,21 +31,187 @@
 
 namespace fastofd {
 
+class ThreadPool;  // exec/thread_pool.h
+
+/// Read-only view of one equivalence class: a contiguous, strictly
+/// ascending run of row ids inside a partition's arena. Implicitly
+/// convertible from std::vector<RowId> so callers holding materialized row
+/// lists (e.g. the incremental verifier's group maps) use the same APIs.
+class RowSpan {
+ public:
+  constexpr RowSpan() = default;
+  // explicit so a braced list like {0, 1} cannot silently bind its leading
+  // literal 0 as a null data pointer.
+  explicit constexpr RowSpan(const RowId* data, size_t size)
+      : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): spans stand in for vectors.
+  RowSpan(const std::vector<RowId>& rows) : data_(rows.data()), size_(rows.size()) {}
+
+  const RowId* begin() const { return data_; }
+  const RowId* end() const { return data_ + size_; }
+  const RowId* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  RowId operator[](size_t i) const { return data_[i]; }
+  RowId front() const { return data_[0]; }
+  RowId back() const { return data_[size_ - 1]; }
+
+ private:
+  const RowId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Iterable view over a flat partition's classes; `for (RowSpan cls : view)`
+/// plus size()/operator[] so existing call sites read naturally.
+class ClassesView {
+ public:
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = RowSpan;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const RowSpan*;
+    using reference = RowSpan;
+
+    Iterator(const RowId* rows, const uint32_t* offsets) : rows_(rows), offsets_(offsets) {}
+    RowSpan operator*() const {
+      return RowSpan(rows_ + offsets_[0], offsets_[1] - offsets_[0]);
+    }
+    Iterator& operator++() {
+      ++offsets_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++offsets_;
+      return tmp;
+    }
+    bool operator==(const Iterator& o) const { return offsets_ == o.offsets_; }
+    bool operator!=(const Iterator& o) const { return offsets_ != o.offsets_; }
+
+   private:
+    const RowId* rows_;
+    const uint32_t* offsets_;
+  };
+
+  ClassesView(const RowId* rows, const uint32_t* offsets, size_t num_classes)
+      : rows_(rows), offsets_(offsets), num_classes_(num_classes) {}
+
+  size_t size() const { return num_classes_; }
+  bool empty() const { return num_classes_ == 0; }
+  RowSpan operator[](size_t i) const {
+    return RowSpan(rows_ + offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+  RowSpan front() const { return (*this)[0]; }
+  RowSpan back() const { return (*this)[num_classes_ - 1]; }
+  Iterator begin() const { return Iterator(rows_, offsets_); }
+  Iterator end() const { return Iterator(rows_, offsets_ + num_classes_); }
+
+ private:
+  const RowId* rows_;
+  const uint32_t* offsets_;
+  size_t num_classes_;
+};
+
+/// Reusable probe-table scratch for the partition kernels. One scratch per
+/// thread: after warm-up, IntersectInto/RefineInto/IntersectError allocate
+/// nothing. StrippedPartition::ThreadLocalScratch() hands out a per-thread
+/// instance for call sites without their own.
+///
+/// Internals (all lazily grown, reset between calls by touched-lists so no
+/// O(capacity) clears happen on the hot path):
+///   probe      row -> class index in the probe-side partition, -1 if the
+///              row is stripped there (singleton).
+///   counts     per probe-side class: rows seen in the current outer class.
+///   slot       per probe-side class: output write cursor, -1 = dropped.
+///   val_*      the same pair keyed by ValueId, for column refinement.
+class PartitionScratch {
+ public:
+  PartitionScratch() = default;
+  PartitionScratch(const PartitionScratch&) = delete;
+  PartitionScratch& operator=(const PartitionScratch&) = delete;
+
+ private:
+  friend class StrippedPartition;
+
+  void EnsureRows(size_t num_rows) {
+    if (probe_.size() < num_rows) probe_.resize(num_rows, -1);
+  }
+  void EnsureClasses(size_t num_classes) {
+    if (counts_.size() < num_classes) {
+      counts_.resize(num_classes, 0);
+      slot_.resize(num_classes, -1);
+    }
+  }
+  void EnsureValues(size_t num_values) {
+    if (val_counts_.size() < num_values) {
+      val_counts_.resize(num_values, 0);
+      val_slot_.resize(num_values, -1);
+    }
+  }
+
+  std::vector<int32_t> probe_;
+  std::vector<int32_t> counts_;
+  std::vector<int32_t> slot_;
+  std::vector<int32_t> touched_;
+  std::vector<int32_t> val_counts_;
+  std::vector<int32_t> val_slot_;
+  std::vector<ValueId> touched_vals_;
+};
+
 /// A stripped partition: equivalence classes of size >= 2 over some
-/// attribute set, plus the statistics discovery algorithms need.
+/// attribute set, stored as a flat arena (rows buffer + class offsets),
+/// plus the statistics discovery algorithms need.
 class StrippedPartition {
  public:
-  /// Builds the stripped partition for a single attribute.
+  /// Builds the stripped partition for a single attribute (counting sort
+  /// over the dense dictionary codes, emitted straight into the arena).
   static StrippedPartition Build(const Relation& rel, AttrId attr);
 
-  /// Builds the stripped partition for an attribute set by folding products.
+  /// Builds the stripped partition for an attribute set by refining the
+  /// first attribute's partition with each remaining column.
   /// For an empty set, returns the single all-rows class (if rows >= 2).
   static StrippedPartition BuildForSet(const Relation& rel, AttrSet attrs);
 
-  /// Product Π*_X · Π*_Y via the TANE probe-table algorithm (linear in the
-  /// stripped sizes of the operands).
+  /// Product Π*_X · Π*_Y via the probe-table algorithm (linear in the
+  /// stripped sizes of the operands). Convenience wrapper over
+  /// IntersectInto using the thread-local scratch.
   static StrippedPartition Product(const StrippedPartition& a,
                                    const StrippedPartition& b);
+
+  /// Core intersection kernel: computes a·b into `out` (which may be
+  /// reused across calls — its arena capacity is retained). Probes from the
+  /// smaller side, short-circuits superkeys and all-rows operands, and
+  /// performs zero allocations once `scratch` and `out` are warm.
+  static void IntersectInto(const StrippedPartition& a, const StrippedPartition& b,
+                            PartitionScratch* scratch, StrippedPartition* out);
+
+  /// Refines `a` in place by a dictionary-coded column: equivalent to
+  /// Product(a, Build(rel, attr)) but never materializes the column's own
+  /// partition. `num_values` bounds the column's value ids (dict size).
+  static void RefineInto(const StrippedPartition& a, const std::vector<ValueId>& column,
+                         size_t num_values, PartitionScratch* scratch,
+                         StrippedPartition* out);
+
+  /// Convenience wrapper over RefineInto with the thread-local scratch.
+  static StrippedPartition Refine(const StrippedPartition& a, const Relation& rel,
+                                  AttrId attr);
+
+  /// TANE error e(a·b) = ||Π*_{a·b}|| - |Π*_{a·b}| without materializing the
+  /// product, aborting early once the error exceeds `max_error` (the
+  /// approximate-verification fast path: callers compare against a
+  /// threshold, so any value > max_error is as good as the exact one).
+  /// The returned value is exact when <= max_error.
+  static int64_t IntersectError(const StrippedPartition& a, const StrippedPartition& b,
+                                PartitionScratch* scratch, int64_t max_error);
+
+  /// Product on `pool` for large operands: the outer side's classes are
+  /// chunked across workers and the per-chunk arenas concatenated in class
+  /// order, so the result is byte-identical to IntersectInto for any thread
+  /// count. Falls back to the serial kernel for small inputs or a null /
+  /// single-threaded pool.
+  static StrippedPartition ProductParallel(const StrippedPartition& a,
+                                           const StrippedPartition& b, ThreadPool* pool);
 
   /// The stripped partition of a superkey: no classes at all.
   static StrippedPartition Empty(int64_t num_rows) {
@@ -46,51 +220,109 @@ class StrippedPartition {
     return p;
   }
 
-  /// Equivalence classes (row ids, ascending within a class); all sizes >= 2.
-  const std::vector<std::vector<RowId>>& classes() const { return classes_; }
+  /// Per-thread PartitionScratch for the wrapper entry points; reusing it
+  /// across calls is what makes Product/Refine allocation-free in steady
+  /// state on every worker thread.
+  static PartitionScratch& ThreadLocalScratch();
+
+  /// Equivalence classes (row ids, ascending within a class); all sizes
+  /// >= 2. Returns a lightweight view over the arena.
+  ClassesView classes() const {
+    return ClassesView(rows_.data(), offsets_.data(), NumClassesSize());
+  }
+
+  /// Class `i` as a span over the arena.
+  RowSpan Class(size_t i) const { return classes()[i]; }
+
+  /// The arena itself: every row of every class, class by class.
+  RowSpan rows() const { return RowSpan(rows_.data(), rows_.size()); }
 
   /// Number of non-singleton classes, |Π*|.
-  int64_t num_classes() const { return static_cast<int64_t>(classes_.size()); }
+  int64_t num_classes() const { return static_cast<int64_t>(NumClassesSize()); }
 
   /// Sum of class sizes, ||Π*||.
-  int64_t sum_sizes() const { return sum_sizes_; }
+  int64_t sum_sizes() const { return static_cast<int64_t>(rows_.size()); }
 
   /// Total rows in the underlying relation.
   int64_t num_rows() const { return num_rows_; }
 
   /// TANE error e(X) = ||Π*|| - |Π*|: the minimum number of tuples to remove
   /// to make X a (super)key. 0 iff X is a superkey.
-  int64_t error() const { return sum_sizes_ - num_classes(); }
+  int64_t error() const { return sum_sizes() - num_classes(); }
 
   /// Cardinality of the *full* partition |Π_X| (counting singletons).
   int64_t full_num_classes() const {
-    return num_classes() + (num_rows_ - sum_sizes_);
+    return num_classes() + (num_rows_ - sum_sizes());
   }
 
   /// True iff X is a superkey (no class of size >= 2 remains).
-  bool IsSuperkey() const { return classes_.empty(); }
+  bool IsSuperkey() const { return rows_.empty(); }
 
-  /// Deep invariant audit (common/audit.h): classes pairwise disjoint,
-  /// internally sorted, of size >= 2, agreeing on every attribute of
-  /// `attrs`, with consistent counters; on relations at or below
-  /// audit::kDeepAuditMaxRows rows, additionally cross-checked class-by-
-  /// class against a naive rebuild — which re-validates the Build/Product
-  /// fold this partition came from. Returns the first violation found.
-  Status AuditInvariants(const Relation& rel, AttrSet attrs) const {
-    return AuditStrippedPartitionParts(rel, attrs, classes_, sum_sizes_,
-                                       num_rows_);
+  /// True iff this is the single all-rows class (the empty attribute set's
+  /// partition) — the identity of the product.
+  bool IsAllRowsClass() const {
+    return num_classes() == 1 && sum_sizes() == num_rows_;
   }
 
-  /// The audit body, exposed on raw parts so tests can feed corrupted
-  /// structures and assert the violation is detected.
+  /// Releases excess arena capacity (shrink-to-fit). The cache compacts
+  /// entries before charging them so the budget pays for rows actually
+  /// held, not the kernels' growth high-water mark.
+  void Compact() {
+    rows_.shrink_to_fit();
+    offsets_.shrink_to_fit();
+  }
+
+  /// Heap bytes actually allocated by the arena (vector capacities, not
+  /// element counts) — what PartitionCache charges against its budget.
+  int64_t AllocatedBytes() const {
+    return static_cast<int64_t>(rows_.capacity() * sizeof(RowId)) +
+           static_cast<int64_t>(offsets_.capacity() * sizeof(uint32_t));
+  }
+
+  /// Deep invariant audit (common/audit.h): the flat layout is well formed
+  /// (offsets ascending with gaps >= 2, covering the arena exactly), classes
+  /// are pairwise disjoint, internally sorted, agreeing on every attribute
+  /// of `attrs`, with consistent counters; on relations at or below
+  /// audit::kDeepAuditMaxRows rows, additionally cross-checked class-by-
+  /// class against a naive rebuild — which re-validates the Build/Intersect/
+  /// Refine fold this partition came from. Returns the first violation.
+  Status AuditInvariants(const Relation& rel, AttrSet attrs) const;
+
+  /// The flat-layout audit body, exposed on raw parts so tests can feed
+  /// corrupted arenas and assert the violation is detected.
+  static Status AuditFlatParts(const std::vector<RowId>& rows,
+                               const std::vector<uint32_t>& offsets, int64_t num_rows);
+
+  /// The class-structure audit body on materialized classes, kept for tests
+  /// that corrupt individual classes (and reused by AuditInvariants).
   static Status AuditStrippedPartitionParts(
       const Relation& rel, AttrSet attrs,
       const std::vector<std::vector<RowId>>& classes, int64_t sum_sizes,
       int64_t num_rows);
 
+  /// Materializes the classes as vectors (audits and tests only — the hot
+  /// path never leaves the arena).
+  std::vector<std::vector<RowId>> ToClassVectors() const;
+
  private:
-  std::vector<std::vector<RowId>> classes_;
-  int64_t sum_sizes_ = 0;
+  size_t NumClassesSize() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  // Shared emission loop: intersects classes [first, last) of `outer`
+  // against `probe` (the probe-side class index per row, -1 = stripped),
+  // appending kept classes to rows/offsets. `offsets` must carry the
+  // leading 0 of its arena segment already.
+  static void EmitIntersection(const StrippedPartition& outer, size_t first, size_t last,
+                               const std::vector<int32_t>& probe,
+                               PartitionScratch* scratch, std::vector<RowId>* rows,
+                               std::vector<uint32_t>* offsets);
+
+  // rows_ holds every class back to back; class i spans
+  // rows_[offsets_[i], offsets_[i+1]). offsets_ is empty when there are no
+  // classes, else has num_classes + 1 entries starting at 0.
+  std::vector<RowId> rows_;
+  std::vector<uint32_t> offsets_;
   int64_t num_rows_ = 0;
 };
 
@@ -106,12 +338,12 @@ class MetricsRegistry;  // common/metrics.h
 /// attribute set, shared across the verify and clean phases (and, via
 /// `FastOfdConfig::partitions`, the base partitions of discovery).
 ///
-/// Entries are charged by their stripped-partition footprint — dominated by
-/// ||Π*|| row-id slots — and the least-recently-used entries are evicted
-/// once the byte budget is exceeded. Get() returns a shared_ptr so a caller
-/// can keep using a partition after it has been evicted; re-fetching an
-/// evicted set simply recomputes it (a miss). Thread-safe: a mutex guards
-/// the map, and computation happens outside the lock.
+/// Entries are charged by the arena bytes the partition actually allocated
+/// (StrippedPartition::AllocatedBytes), and the least-recently-used entries
+/// are evicted once the byte budget is exceeded. Get() returns a shared_ptr
+/// so a caller can keep using a partition after it has been evicted;
+/// re-fetching an evicted set simply recomputes it (a miss). Thread-safe: a
+/// mutex guards the map, and computation happens outside the lock.
 ///
 /// Hit/miss/eviction counts and the current byte footprint are recorded in
 /// an optional MetricsRegistry under `partition_cache.*`.
@@ -128,7 +360,8 @@ class PartitionCache {
   /// alone exceeds the budget is returned but not retained.
   std::shared_ptr<const StrippedPartition> Get(AttrSet attrs);
 
-  /// Approximate heap footprint of a stripped partition, in bytes.
+  /// Heap footprint of a stripped partition, in bytes: the object header
+  /// plus the arena's allocated (capacity) bytes.
   static int64_t FootprintBytes(const StrippedPartition& p);
 
   void Clear();

@@ -97,7 +97,8 @@ TEST(SenseAssignmentTest, PicksSenseWithMaxCoverage) {
   rel.AppendRow({"x", "b1"});
   rel.AppendRow({"x", "b1"});
   SynonymIndex index(ont, rel.dict());
-  SenseId got = SenseSelector::InitialAssignment(rel, index, {0, 1, 2, 3, 4}, 1);
+  const std::vector<RowId> rows = {0, 1, 2, 3, 4};
+  SenseId got = SenseSelector::InitialAssignment(rel, index, rows, 1);
   EXPECT_EQ(got, sa);  // Covers 3 tuples vs 2.
 }
 
@@ -126,7 +127,8 @@ TEST(SenseAssignmentTest, AllValuesOutsideOntologyGivesInvalidSense) {
   rel.AppendRow({"x", "u2"});
   Ontology empty;
   SynonymIndex index(empty, rel.dict());
-  EXPECT_EQ(SenseSelector::InitialAssignment(rel, index, {0, 1}, 1), kInvalidSense);
+  const std::vector<RowId> rows = {0, 1};
+  EXPECT_EQ(SenseSelector::InitialAssignment(rel, index, rows, 1), kInvalidSense);
 }
 
 TEST(SenseAssignmentTest, FallsBackWhenTopValueUncovered) {
@@ -140,7 +142,8 @@ TEST(SenseAssignmentTest, FallsBackWhenTopValueUncovered) {
   rel.AppendRow({"x", "mystery"});
   rel.AppendRow({"x", "known"});
   SynonymIndex index(ont, rel.dict());
-  EXPECT_EQ(SenseSelector::InitialAssignment(rel, index, {0, 1, 2, 3}, 1), s);
+  const std::vector<RowId> rows = {0, 1, 2, 3};
+  EXPECT_EQ(SenseSelector::InitialAssignment(rel, index, rows, 1), s);
 }
 
 TEST(SenseAssignmentTest, AccuracyHighOnCleanGeneratedData) {

@@ -126,7 +126,8 @@ TEST(OfdVerifierTest, PairwiseSharedSensesAreNotEnough) {
   // Every pair of rows satisfies the OFD...
   for (RowId a = 0; a < 3; ++a) {
     for (RowId b = a + 1; b < 3; ++b) {
-      EXPECT_TRUE(verifier.HoldsInClass({a, b}, 1, OfdKind::kSynonym));
+      const std::vector<RowId> pair = {a, b};
+      EXPECT_TRUE(verifier.HoldsInClass(pair, 1, OfdKind::kSynonym));
     }
   }
   // ...but the whole class does not.
@@ -161,8 +162,10 @@ TEST(OfdVerifierTest, ValueOutsideOntologyOnlySatisfiedByEquality) {
   SynonymIndex index(ont, rel.dict());
   OfdVerifier verifier(rel, index);
   // Class u: equal values -> holds. Class w: distinct, no senses -> fails.
-  EXPECT_TRUE(verifier.HoldsInClass({0, 1}, 1, OfdKind::kSynonym));
-  EXPECT_FALSE(verifier.HoldsInClass({2, 3}, 1, OfdKind::kSynonym));
+  const std::vector<RowId> class_u = {0, 1};
+  const std::vector<RowId> class_w = {2, 3};
+  EXPECT_TRUE(verifier.HoldsInClass(class_u, 1, OfdKind::kSynonym));
+  EXPECT_FALSE(verifier.HoldsInClass(class_w, 1, OfdKind::kSynonym));
   EXPECT_FALSE(verifier.Holds({AttrSet::Of({0}), 1, OfdKind::kSynonym}));
 }
 

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly collected benchmark JSON file (scripts/collect_bench.sh
+output) against a committed baseline and fails when:
+
+  * a table present in the baseline is missing from the fresh run,
+  * a table's row count changed (shape drift — refresh the baseline),
+  * a time-like cell regressed beyond tolerance, or
+  * a `micro_partition` intersection op (product / refine / error) reports
+    a flat-vs-legacy speedup below --speedup-min.
+
+Time-like columns (names containing "ms", "(s)", "seconds", or ending in
+"_s") are machine-dependent, so they get a generous relative tolerance with
+an absolute slack floor for sub-millisecond cells: a cell passes if
+    fresh <= base * (1 + rel_tol)   OR   fresh - base <= abs_slack.
+The speedup column of `micro_partition` is a same-process ratio and is
+therefore machine-independent; it is gated hard, with no tolerance.
+
+Usage:
+    tools/bench_gate.py --baseline BENCH_core.json --fresh out/BENCH_core.json
+    tools/bench_gate.py --self-test
+"""
+
+import argparse
+import json
+import re
+import sys
+
+TIME_COLUMN_RE = re.compile(r"ms|\(s\)|\bseconds\b|_s$")
+
+# Ops in the micro_partition table whose speedup ratio is gated hard.
+GATED_INTERSECTION_OPS = ("product", "refine", "error")
+
+
+def is_time_column(name):
+    return bool(TIME_COLUMN_RE.search(name))
+
+
+def as_number(cell):
+    """Returns the cell as float, or None for non-numeric cells like "-"."""
+    if isinstance(cell, bool):
+        return None
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    try:
+        return float(str(cell).rstrip("x"))
+    except ValueError:
+        return None
+
+
+def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min):
+    """Returns a list of human-readable failure strings (empty == pass)."""
+    failures = []
+    fresh_by_name = {t["bench"]: t for t in fresh}
+    for base_table in baseline:
+        name = base_table["bench"]
+        if name not in fresh_by_name:
+            failures.append(f"{name}: table missing from fresh run")
+            continue
+        fresh_table = fresh_by_name[name]
+        if fresh_table["columns"] != base_table["columns"]:
+            failures.append(
+                f"{name}: columns changed "
+                f"({base_table['columns']} -> {fresh_table['columns']}); "
+                "refresh the committed baseline")
+            continue
+        if len(fresh_table["rows"]) != len(base_table["rows"]):
+            failures.append(
+                f"{name}: row count changed "
+                f"({len(base_table['rows'])} -> {len(fresh_table['rows'])}); "
+                "refresh the committed baseline")
+            continue
+        columns = base_table["columns"]
+        time_cols = [i for i, c in enumerate(columns) if is_time_column(c)]
+        for row_idx, (base_row, fresh_row) in enumerate(
+                zip(base_table["rows"], fresh_table["rows"])):
+            label = f"{name} row {row_idx} ({base_row[0]})"
+            for col in time_cols:
+                base_v = as_number(base_row[col])
+                fresh_v = as_number(fresh_row[col])
+                if base_v is None or fresh_v is None:
+                    continue  # "-" cells (skipped configurations)
+                if (fresh_v > base_v * (1.0 + rel_tol)
+                        and fresh_v - base_v > abs_slack):
+                    failures.append(
+                        f"{label}: {columns[col]} regressed "
+                        f"{base_v:g} -> {fresh_v:g} "
+                        f"(> +{rel_tol:.0%} and > +{abs_slack:g})")
+        if name == "micro_partition":
+            failures.extend(
+                check_micro_partition(fresh_table, speedup_min))
+    base_names = {t["bench"] for t in baseline}
+    for extra in [n for n in fresh_by_name if n not in base_names]:
+        print(f"note: fresh table {extra!r} has no committed baseline",
+              file=sys.stderr)
+    return failures
+
+
+def check_micro_partition(table, speedup_min):
+    """Hard gate: flat kernels must beat the legacy layout on the
+    intersection ops by at least speedup_min. The ratio is computed in one
+    process on one machine, so no tolerance applies."""
+    failures = []
+    columns = table["columns"]
+    op_col = columns.index("op")
+    speedup_col = columns.index("speedup")
+    rows_col = columns.index("rows")
+    for row in table["rows"]:
+        op = row[op_col]
+        if op not in GATED_INTERSECTION_OPS:
+            continue
+        speedup = as_number(row[speedup_col])
+        if speedup is None or speedup < speedup_min:
+            failures.append(
+                f"micro_partition: op {op!r} at {row[rows_col]} rows has "
+                f"flat-vs-legacy speedup {row[speedup_col]} "
+                f"(gate requires >= {speedup_min:g})")
+    return failures
+
+
+def run_gate(args):
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    failures = compare_tables(baseline, fresh, args.rel_tol, args.abs_slack,
+                              args.speedup_min)
+    if failures:
+        print(f"bench gate FAILED ({len(failures)} problem(s)) comparing "
+              f"{args.fresh} against {args.baseline}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"bench gate passed: {args.fresh} vs {args.baseline} "
+          f"({len(baseline)} tables)")
+    return 0
+
+
+def self_test():
+    """Exercises the pass path and each failure mode on synthetic tables."""
+    baseline = [
+        {"bench": "micro_partition",
+         "columns": ["op", "rows", "legacy(ms)", "flat(ms)", "speedup"],
+         "rows": [["build", 20000, 0.10, 0.04, 2.50],
+                  ["product", 20000, 0.75, 0.26, 2.88]]},
+        {"bench": "serve_update_latency",
+         "columns": ["N", "update(ms)", "full_reverify(ms)", "speedup"],
+         "rows": [[5000, 0.014, 0.33, 23.0]]},
+    ]
+
+    def gate(fresh):
+        return compare_tables(baseline, fresh, rel_tol=0.5, abs_slack=0.25,
+                              speedup_min=2.0)
+
+    def clone(tables):
+        return json.loads(json.dumps(tables))
+
+    checks = []
+
+    # 1. Identical run passes.
+    checks.append(("identical run passes", gate(clone(baseline)) == []))
+
+    # 2. A regressed time cell (beyond rel tolerance and abs slack) fails.
+    regressed = clone(baseline)
+    regressed[1]["rows"][0][2] = 5.0  # full_reverify(ms): 0.33 -> 5.0
+    failures = gate(regressed)
+    checks.append(("regressed time cell fails",
+                   len(failures) == 1 and "full_reverify" in failures[0]))
+
+    # 3. Noise within tolerance passes (big relative jump, tiny absolute).
+    noisy = clone(baseline)
+    noisy[1]["rows"][0][1] = 0.025  # update(ms): 0.014 -> 0.025 (< abs slack)
+    checks.append(("sub-slack noise passes", gate(noisy) == []))
+
+    # 4. Speedup below the hard minimum fails even with fast absolute times.
+    slow_ratio = clone(baseline)
+    slow_ratio[0]["rows"][1][2] = 0.30  # legacy(ms)
+    slow_ratio[0]["rows"][1][3] = 0.26  # flat(ms): within tolerance
+    slow_ratio[0]["rows"][1][4] = 1.15  # speedup < 2.0
+    failures = gate(slow_ratio)
+    checks.append(("speedup below minimum fails",
+                   len(failures) == 1 and "speedup 1.15" in failures[0]))
+
+    # 5. Build op is not speedup-gated (only the intersection ops are).
+    slow_build = clone(baseline)
+    slow_build[0]["rows"][0][4] = 1.10  # build speedup < 2.0: allowed
+    checks.append(("build op not speedup-gated", gate(slow_build) == []))
+
+    # 6. A missing table fails.
+    missing = clone(baseline)[1:]
+    failures = gate(missing)
+    checks.append(("missing table fails",
+                   len(failures) == 1 and "missing" in failures[0]))
+
+    # 7. Shape drift (row count change) fails with refresh advice.
+    reshaped = clone(baseline)
+    reshaped[0]["rows"].append(["error", 20000, 0.73, 0.04, 16.0])
+    failures = gate(reshaped)
+    checks.append(("row-count drift fails",
+                   len(failures) == 1 and "refresh" in failures[0]))
+
+    failed = [name for name, ok in checks if not ok]
+    for name, ok in checks:
+        print(f"  {'ok' if ok else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test FAILED: {failed}")
+        return 1
+    print(f"self-test passed ({len(checks)} checks)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--fresh", help="freshly collected JSON")
+    parser.add_argument("--rel-tol", type=float, default=0.5,
+                        help="relative tolerance for time columns "
+                             "(default 0.5 = +50%%)")
+    parser.add_argument("--abs-slack", type=float, default=0.25,
+                        help="absolute slack for time columns, in the "
+                             "column's own unit (default 0.25)")
+    parser.add_argument("--speedup-min", type=float, default=2.0,
+                        help="hard minimum for micro_partition intersection "
+                             "op speedups (default 2.0)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in negative/positive tests")
+    args = parser.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.fresh:
+        parser.error("--baseline and --fresh are required (or --self-test)")
+    sys.exit(run_gate(args))
+
+
+if __name__ == "__main__":
+    main()
