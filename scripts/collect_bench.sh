@@ -2,7 +2,7 @@
 # Runs the benchmark harnesses that support --json and aggregates their
 # tables into two machine-readable files:
 #   BENCH_core.json  — core pipeline benches (scale, parallelism, incremental,
-#                      flat partition micro-kernels)
+#                      flat partition micro-kernels, the OFDClean beam search)
 #   BENCH_serve.json — the service-mode bench (warm sessions, update latency,
 #                      closed-loop tail latency, drain)
 # Each file is a JSON array of {"bench", "columns", "rows"} tables.
@@ -37,7 +37,7 @@ ndjson_to_array() {
   printf ']\n'
 }
 
-CORE_BENCHES=(bench_micro_core bench_exp1_scale_n_tuples bench_ext_parallel bench_ext_incremental)
+CORE_BENCHES=(bench_micro_core bench_exp1_scale_n_tuples bench_ext_parallel bench_ext_incremental bench_clean)
 : > "$TMP/core.ndjson"
 for b in "${CORE_BENCHES[@]}"; do
   bin="$BUILD_DIR/bench/$b"

@@ -1,0 +1,193 @@
+#include "clean/beam_scorer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/audit.h"
+#include "common/check.h"
+#include "exec/thread_pool.h"
+#include "relation/attr_set.h"
+
+namespace fastofd {
+
+BeamScorer::BeamScorer(const Relation& rel, const SynonymIndex& index,
+                       const SigmaSet& sigma, const SenseAssignmentResult& assignment,
+                       ThreadPool* pool)
+    : rel_(rel), index_(index), sigma_(sigma), assignment_(assignment) {
+  for (int i = 0; i < static_cast<int>(sigma_.size()); ++i) {
+    const auto& classes = assignment_.partitions[static_cast<size_t>(i)].classes();
+    for (int c = 0; c < static_cast<int>(classes.size()); ++c) {
+      items_.push_back(Item{i, c});
+    }
+  }
+  level0_cost_.assign(items_.size(), 0);
+  auto memoize = [&](size_t item) {
+    level0_cost_[item] = ClassCost(item, nullptr);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(items_.size(), [&](size_t item, int) { memoize(item); });
+  } else {
+    for (size_t item = 0; item < items_.size(); ++item) memoize(item);
+  }
+  for (int64_t cost : level0_cost_) base_cost_ += cost;
+}
+
+void BeamScorer::SetCandidates(std::vector<OntologyAddition> candidates,
+                               std::vector<std::vector<uint32_t>> affected) {
+  FASTOFD_CHECK(candidates.size() == affected.size());
+  candidates_ = std::move(candidates);
+  affected_ = std::move(affected);
+}
+
+int64_t BeamScorer::ClassCost(size_t item, const SynonymIndexOverlay* overlay) const {
+  const auto [i, c] = items_[item];
+  AttrId rhs = sigma_[static_cast<size_t>(i)].rhs;
+  RowSpan rows =
+      assignment_.partitions[static_cast<size_t>(i)].classes()[static_cast<size_t>(c)];
+  SenseId sense = assignment_.senses[static_cast<size_t>(i)][static_cast<size_t>(c)];
+
+  std::unordered_map<ValueId, int64_t> freq;
+  for (RowId r : rows) ++freq[rel_.At(r, rhs)];
+  if (freq.size() <= 1) return 0;  // All equal: never violating.
+
+  auto covered = [&](ValueId v) {
+    if (sense == kInvalidSense) return false;
+    return overlay != nullptr ? overlay->SenseContains(sense, v)
+                              : index_.SenseContains(sense, v);
+  };
+  // One pass over the distinct values; all tie-breaks (max count, then min
+  // value id) match RepairValue in repair.cc, and none depend on the hash
+  // map's iteration order.
+  bool all_covered = sense != kInvalidSense;
+  int64_t uncovered_occurrences = 0;
+  ValueId best_covered = kInvalidValue;
+  int64_t best_covered_count = -1;
+  ValueId majority = kInvalidValue;
+  int64_t majority_count = -1;
+  for (const auto& [v, count] : freq) {
+    if (count > majority_count || (count == majority_count && v < majority)) {
+      majority = v;
+      majority_count = count;
+    }
+    if (covered(v)) {
+      if (count > best_covered_count ||
+          (count == best_covered_count && v < best_covered)) {
+        best_covered = v;
+        best_covered_count = count;
+      }
+    } else {
+      all_covered = false;
+      uncovered_occurrences += count;
+    }
+  }
+  if (all_covered) return 0;  // Co-covered by λ: not violating.
+
+  const int64_t size = static_cast<int64_t>(rows.size());
+  // RepairData rewrites every uncovered tuple whose value differs from the
+  // repair target. With a covered target, no uncovered value can equal it,
+  // so the cost is exactly the uncovered occurrences. With no covered value
+  // but a non-empty sense, the target is a sense value absent from the
+  // class — every tuple changes. Otherwise the majority value survives.
+  if (best_covered != kInvalidValue) return uncovered_occurrences;
+  if (sense != kInvalidSense &&
+      (overlay != nullptr ? overlay->SenseHasValues(sense)
+                          : !index_.SenseValues(sense).empty())) {
+    return size;
+  }
+  return size - majority_count;
+}
+
+SynonymIndexOverlay BeamScorer::MakeOverlay(const std::vector<int>& picks) const {
+  SynonymIndexOverlay overlay(index_);
+  for (int p : picks) {
+    const OntologyAddition& add = candidates_[static_cast<size_t>(p)];
+    overlay.Add(add.sense, add.value);
+  }
+  return overlay;
+}
+
+BeamScorer::NodeScore BeamScorer::ScoreFull(const std::vector<int>& picks) const {
+  SynonymIndexOverlay overlay = MakeOverlay(picks);
+  const SynonymIndexOverlay* view = picks.empty() ? nullptr : &overlay;
+  NodeScore score;
+  for (size_t item = 0; item < items_.size(); ++item) {
+    score.data_changes += ClassCost(item, view);
+  }
+  score.classes_rescored = static_cast<int64_t>(items_.size());
+  return score;
+}
+
+BeamScorer::NodeScore BeamScorer::ScoreIncremental(const std::vector<int>& picks) const {
+  if (picks.empty()) return NodeScore{base_cost_, 0};
+  SynonymIndexOverlay overlay = MakeOverlay(picks);
+  // Union of the picks' affected-class lists (each ascending).
+  std::vector<uint32_t> affected;
+  for (int p : picks) {
+    const std::vector<uint32_t>& list = affected_[static_cast<size_t>(p)];
+    affected.insert(affected.end(), list.begin(), list.end());
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+  NodeScore score{base_cost_, static_cast<int64_t>(affected.size())};
+  for (uint32_t item : affected) {
+    score.data_changes -= level0_cost_[item];
+    score.data_changes += ClassCost(item, &overlay);
+  }
+  return score;
+}
+
+Status BeamScorer::AuditNodeScore(const std::vector<int>& picks,
+                                  int64_t data_changes) const {
+  auto fail = [](const std::string& message) {
+    return audit::internal::Counted(Status::Error("beam scorer audit: " + message));
+  };
+  SynonymIndexOverlay overlay = MakeOverlay(picks);
+  Status overlay_ok = AuditSynonymIndexOverlay(overlay);
+  if (!overlay_ok.ok()) return audit::internal::Counted(overlay_ok);
+
+  NodeScore full = ScoreFull(picks);
+  NodeScore incremental = ScoreIncremental(picks);
+  if (full.data_changes != data_changes ||
+      incremental.data_changes != data_changes) {
+    return fail("node scored " + std::to_string(data_changes) + " but full=" +
+                std::to_string(full.data_changes) + " incremental=" +
+                std::to_string(incremental.data_changes));
+  }
+
+  // From-scratch cross-check against RepairData on a materialized index
+  // copy. Exact only under per-class independence: distinct consequents and
+  // no antecedent/consequent overlap (coupled classes read each other's
+  // rewrites). Bounded so audit-mode services stay usable.
+  if (rel_.num_rows() > audit::kDeepAuditMaxRows) {
+    return audit::internal::Counted(Status::Ok());
+  }
+  AttrSet lhs_attrs, rhs_attrs;
+  for (const Ofd& ofd : sigma_) {
+    if (rhs_attrs.Contains(ofd.rhs)) return audit::internal::Counted(Status::Ok());
+    lhs_attrs = lhs_attrs.Union(ofd.lhs);
+    rhs_attrs = rhs_attrs.With(ofd.rhs);
+  }
+  if (lhs_attrs.Intersects(rhs_attrs)) {
+    return audit::internal::Counted(Status::Ok());
+  }
+  SynonymIndex materialized = index_;
+  for (int p : picks) {
+    const OntologyAddition& add = candidates_[static_cast<size_t>(p)];
+    materialized.AddValue(add.sense, add.value);
+  }
+  RepairResult repaired = RepairData(rel_, materialized, sigma_, assignment_,
+                                     std::numeric_limits<int64_t>::max());
+  if (repaired.data_changes != data_changes) {
+    return fail("from-scratch RepairData made " +
+                std::to_string(repaired.data_changes) +
+                " changes but the node scored " + std::to_string(data_changes));
+  }
+  return audit::internal::Counted(Status::Ok());
+}
+
+}  // namespace fastofd

@@ -1,0 +1,118 @@
+// Incremental, side-effect-free scoring for the OFDClean ontology-repair
+// beam search (paper §7.1).
+//
+// A beam node is a set of candidate insertions (sense, value); its score is
+// the number of data repairs RepairData would still need with those
+// insertions applied. Three observations make scoring cheap and parallel:
+//
+//   1. Per-class independence. With each OFD repairing its own consequent
+//      column and classes of one partition disjoint, the repair count
+//      decomposes into a sum of per-class costs, each a function of only the
+//      class's rows, its assigned sense λ, and the synonym view.
+//   2. Locality of insertions. Adding (λ, v) to the ontology can change the
+//      cost of class x only when λ_x = λ and v occurs among x's consequent
+//      values (it flips those occurrences from uncovered to covered; the
+//      covered set of any other class is untouched). So each candidate
+//      carries the precomputed list of classes it can affect, and a node is
+//      re-scored over the union of its picks' lists: the memoized level-0
+//      cost stands in for every unaffected class.
+//   3. No shared mutable state. Each node layers its insertions over the
+//      shared base index with a SynonymIndexOverlay instead of
+//      AddValue/RemoveValue, so a level's expansions can be scored
+//      concurrently with ThreadPool::ParallelFor.
+//
+// ScoreFull (a fresh pass over every class) and ScoreIncremental compute the
+// same function; audit mode additionally cross-checks both against a
+// from-scratch RepairData on a materialized index copy.
+
+#ifndef FASTOFD_CLEAN_BEAM_SCORER_H_
+#define FASTOFD_CLEAN_BEAM_SCORER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clean/repair.h"
+#include "clean/sense_assignment.h"
+#include "common/status.h"
+#include "ofd/ofd.h"
+#include "ontology/synonym_index.h"
+#include "relation/relation.h"
+
+namespace fastofd {
+
+class ThreadPool;  // exec/thread_pool.h
+
+/// Scores ontology-repair beam nodes against a fixed sense assignment.
+/// Construction memoizes the level-0 (no insertions) cost of every class;
+/// const thereafter, so one instance is safely shared by concurrent node
+/// evaluations.
+class BeamScorer {
+ public:
+  /// Memoizes per-class level-0 repair costs (on `pool` when provided; the
+  /// memo is byte-identical for any thread count).
+  BeamScorer(const Relation& rel, const SynonymIndex& index, const SigmaSet& sigma,
+             const SenseAssignmentResult& assignment, ThreadPool* pool = nullptr);
+
+  /// Registers the candidate set. `affected[i]` lists the flattened class
+  /// indices (OFDs in Σ order, classes in partition order) whose cost can
+  /// change when candidates[i] is inserted — the classes whose assigned
+  /// sense matches and whose consequent rows contain the value. Lists must
+  /// be ascending (the collection pass produces them that way).
+  void SetCandidates(std::vector<OntologyAddition> candidates,
+                     std::vector<std::vector<uint32_t>> affected);
+
+  struct NodeScore {
+    /// Data repairs still required with the node's insertions applied.
+    int64_t data_changes = 0;
+    /// Classes whose cost was recomputed for this node.
+    int64_t classes_rescored = 0;
+  };
+
+  /// Scores a node (candidate indices into the registered set) by
+  /// recomputing every class under the node's overlay.
+  NodeScore ScoreFull(const std::vector<int>& picks) const;
+
+  /// Scores a node by recomputing only the classes its picks can affect;
+  /// returns exactly ScoreFull's data_changes.
+  NodeScore ScoreIncremental(const std::vector<int>& picks) const;
+
+  /// Σ of the memoized level-0 per-class costs (== ScoreFull({})).
+  int64_t base_cost() const { return base_cost_; }
+
+  /// Flattened class count across all OFDs.
+  size_t num_classes() const { return items_.size(); }
+
+  /// Deep audit for one scored node: the overlay invariants hold
+  /// (AuditSynonymIndexOverlay), incremental and full scoring agree on
+  /// `data_changes`, and — when the instance is small enough
+  /// (audit::kDeepAuditMaxRows) and the OFDs' attribute sets are disjoint
+  /// enough for per-class independence (distinct consequents, no
+  /// antecedent/consequent overlap) — a from-scratch RepairData over a
+  /// materialized index copy reports the same repair count.
+  Status AuditNodeScore(const std::vector<int>& picks, int64_t data_changes) const;
+
+ private:
+  struct Item {
+    int ofd = 0;
+    int cls = 0;
+  };
+
+  /// Repair cost of one class under the given view (null = base index).
+  int64_t ClassCost(size_t item, const SynonymIndexOverlay* overlay) const;
+
+  SynonymIndexOverlay MakeOverlay(const std::vector<int>& picks) const;
+
+  const Relation& rel_;
+  const SynonymIndex& index_;
+  const SigmaSet& sigma_;
+  const SenseAssignmentResult& assignment_;
+  std::vector<Item> items_;
+  std::vector<int64_t> level0_cost_;
+  int64_t base_cost_ = 0;
+  std::vector<OntologyAddition> candidates_;
+  std::vector<std::vector<uint32_t>> affected_;
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_CLEAN_BEAM_SCORER_H_

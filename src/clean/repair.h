@@ -7,13 +7,20 @@
 // the data but missing from the ontology; the beam search explores size-k
 // combinations of these insertions (top-b nodes per level, default
 // b = ⌊|Cand(S)|/e⌋ by the secretary rule), and every candidate ontology
-// repair is scored by the number of data repairs still required. Data
-// repair builds per-class conflict graphs (edges between tuples whose
-// consequent values are neither equal nor co-covered by the class's sense),
-// takes a 2-approximate minimum vertex cover, rewrites covered tuples to the
-// best sense-covered value, and finishes with a fix-up pass that guarantees
+// repair is scored by the number of data repairs still required. Nodes are
+// scored side-effect-free (SynonymIndexOverlay over the shared index, see
+// clean/beam_scorer.h), incrementally (only the classes a node's insertions
+// can affect are re-costed against the memoized level-0 per-class costs),
+// and in parallel (each level's expansions on ThreadPool::ParallelFor, with
+// byte-identical output for any thread count or scoring mode). Only the
+// chosen repair is materialized with a full RepairData. Data repair builds
+// per-class conflict graphs (edges between tuples whose consequent values
+// are neither equal nor co-covered by the class's sense), takes a
+// 2-approximate minimum vertex cover, rewrites covered tuples to the best
+// sense-covered value, and finishes with a fix-up pass that guarantees
 // consistency. Repairs are τ-constrained: at most τ · (consequent cells)
-// may change.
+// may change; τ-infeasible nodes are kept in the beam (a deeper insertion
+// can bring them back under budget) but never contribute Pareto points.
 
 #ifndef FASTOFD_CLEAN_REPAIR_H_
 #define FASTOFD_CLEAN_REPAIR_H_
@@ -53,8 +60,14 @@ struct OfdCleanConfig {
   /// values, which legitimately missing ontology values — occurring across
   /// many classes — easily pass.
   int min_candidate_classes = 1;
-  /// Worker threads for sense assignment and conflict-graph construction
-  /// (1 = serial). The repair output is identical for any thread count.
+  /// When true (default), beam nodes are re-scored only over the classes
+  /// their insertions can affect, against memoized level-0 per-class costs;
+  /// false re-costs every class per node (the reference path, kept for
+  /// benchmarking and cross-validation). Output is byte-identical.
+  bool incremental_scoring = true;
+  /// Worker threads for sense assignment, beam-node scoring, and
+  /// conflict-graph construction (1 = serial). The repair output is
+  /// identical for any thread count.
   int num_threads = 1;
   /// Shared execution pool; when null, Run() creates its own
   /// `num_threads`-wide pool once and reuses it across all phases and every

@@ -13,6 +13,8 @@
 //   StrippedPartition::AuditInvariants   relation/partition.{h,cc}
 //   PartitionCache::AuditInvariants      relation/partition.{h,cc}
 //   AuditOntologyIndex                   ontology/synonym_index.{h,cc}
+//   AuditSynonymIndexOverlay             ontology/synonym_index.{h,cc}
+//   BeamScorer::AuditNodeScore           clean/beam_scorer.{h,cc}
 //   IncrementalVerifier::AuditState      ofd/incremental.{h,cc}
 //   Session::Audit / SessionRegistry::AuditInvariants  service/session.{h,cc}
 //

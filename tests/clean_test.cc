@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -394,6 +395,137 @@ TEST(OfdCleanTest, IncompletenessTriggersOntologyRepairs) {
     }
   }
   EXPECT_GT(removed_hits, 0);
+}
+
+TEST(OfdCleanTest, TauInfeasibleInstanceYieldsEmptyPareto) {
+  // Six all-distinct values in one class and an empty ontology: any repair
+  // needs 5 changes while τ = 0.1 allows ⌊0.6⌋ = 0. Every beam node is
+  // infeasible, so the frontier stays empty — the old accounting pushed the
+  // budget-truncated change count as a bogus k=0 Pareto point.
+  Relation rel(Schema({"X", "Y"}));
+  for (int i = 0; i < 6; ++i) rel.AppendRow({"x", "v" + std::to_string(i)});
+  Ontology empty;
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  OfdCleanConfig cfg;
+  cfg.tau = 0.1;
+  OfdClean cleaner(rel, empty, sigma, cfg);
+  OfdCleanResult result = cleaner.Run();
+  EXPECT_TRUE(result.pareto.empty());
+  EXPECT_FALSE(result.best.tau_feasible);
+  EXPECT_EQ(result.num_candidates, 0);
+}
+
+TEST(OfdCleanTest, InfeasibleLevelsAreSkippedNotTruncated) {
+  // One class: three tuples covered by the sense, three sharing the
+  // uncovered value 'bad'. Level 0 needs 3 repairs but τ = 0.2 allows only
+  // 1, so k=0 yields no Pareto point. The infeasible node must still be
+  // expanded — inserting 'bad' (k=1) repairs everything and becomes the
+  // frontier's only point. The old truncated accounting instead reported a
+  // k=0 point of 2 changes and exited early on it.
+  Relation rel(Schema({"X", "MED"}));
+  Ontology ont;
+  SenseId s = ont.AddSense("S");
+  ont.AddValue(s, "good");
+  for (int i = 0; i < 3; ++i) rel.AppendRow({"x", "good"});
+  for (int i = 0; i < 3; ++i) rel.AppendRow({"x", "bad"});
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  OfdCleanConfig cfg;
+  cfg.tau = 0.2;  // Budget ⌊0.2 · 6⌋ = 1.
+  OfdClean cleaner(rel, ont, sigma, cfg);
+  OfdCleanResult result = cleaner.Run();
+  ASSERT_EQ(result.pareto.size(), 1u);
+  EXPECT_EQ(result.pareto[0].ontology_changes, 1);
+  EXPECT_EQ(result.pareto[0].data_changes, 0);
+  EXPECT_TRUE(result.best.tau_feasible);
+  EXPECT_TRUE(result.best.consistent);
+  EXPECT_EQ(result.best.data_changes, 0);
+  ASSERT_EQ(result.best.ontology_additions.size(), 1u);
+  EXPECT_EQ(rel.dict().String(result.best.ontology_additions[0].value), "bad");
+}
+
+TEST(OfdCleanTest, CandidatesRankedByOccurrenceAcrossClasses) {
+  // 'oops' occurs in two classes (3 occurrences total), 'rare' in one (1).
+  // Collection must dedup candidates across classes, count every occurrence,
+  // and rank by total count when truncating to max_candidates.
+  Relation rel(Schema({"X", "MED"}));
+  Ontology ont;
+  SenseId s = ont.AddSense("S");
+  ont.AddValue(s, "good");
+  rel.AppendRow({"x1", "good"});
+  rel.AppendRow({"x1", "good"});
+  rel.AppendRow({"x1", "oops"});
+  rel.AppendRow({"x1", "oops"});
+  rel.AppendRow({"x2", "good"});
+  rel.AppendRow({"x2", "good"});
+  rel.AppendRow({"x2", "oops"});
+  rel.AppendRow({"x2", "rare"});
+  SigmaSet sigma = {{AttrSet::Single(0), 1, OfdKind::kSynonym}};
+  OfdCleanConfig cfg;
+  cfg.max_candidates = 1;  // Keep only the top-count candidate.
+  OfdClean cleaner(rel, ont, sigma, cfg);
+  OfdCleanResult result = cleaner.Run();
+  EXPECT_EQ(result.num_candidates, 2);  // Pre-truncation |Cand(S)|.
+  EXPECT_EQ(result.pareto.size(), 2u);
+  // Only the 'oops' insertion was explored; it saves 3 of the 4 repairs.
+  ASSERT_EQ(result.best.ontology_additions.size(), 1u);
+  EXPECT_EQ(rel.dict().String(result.best.ontology_additions[0].value), "oops");
+  EXPECT_EQ(result.best.data_changes, 1);
+
+  // The class-support filter drops the single-class 'rare' before counting.
+  OfdCleanConfig filtered = cfg;
+  filtered.min_candidate_classes = 2;
+  OfdClean cleaner2(rel, ont, sigma, filtered);
+  EXPECT_EQ(cleaner2.Run().num_candidates, 1);
+}
+
+TEST(OfdCleanTest, BeamResultsIdenticalAcrossScoringModesAndThreads) {
+  // The incremental + parallel beam search must be byte-identical to the
+  // full-rescore serial reference: same candidates, node counts, frontier,
+  // chosen insertions, and repaired cells, for any thread count.
+  DataGenConfig dg;
+  dg.num_rows = 400;
+  dg.num_senses = 4;
+  dg.error_rate = 0.04;
+  dg.incompleteness_rate = 0.12;
+  dg.seed = 23;
+  GeneratedData data = GenerateData(dg);
+
+  auto run = [&](bool incremental, int threads) {
+    OfdCleanConfig cfg;
+    cfg.incremental_scoring = incremental;
+    cfg.num_threads = threads;
+    cfg.max_repair_size = 16;
+    OfdClean cleaner(data.rel, data.ontology, data.sigma, cfg);
+    return cleaner.Run();
+  };
+  OfdCleanResult reference = run(/*incremental=*/false, /*threads=*/1);
+  EXPECT_GT(reference.num_candidates, 0);
+  EXPECT_FALSE(reference.pareto.empty());
+
+  const std::vector<std::pair<bool, int>> variants = {
+      {true, 1}, {true, 2}, {true, 8}, {false, 8}};
+  for (const auto& [incremental, threads] : variants) {
+    SCOPED_TRACE("incremental=" + std::to_string(incremental) +
+                 " threads=" + std::to_string(threads));
+    OfdCleanResult got = run(incremental, threads);
+    EXPECT_EQ(got.num_candidates, reference.num_candidates);
+    EXPECT_EQ(got.nodes_evaluated, reference.nodes_evaluated);
+    ASSERT_EQ(got.pareto.size(), reference.pareto.size());
+    for (size_t i = 0; i < reference.pareto.size(); ++i) {
+      EXPECT_EQ(got.pareto[i].ontology_changes, reference.pareto[i].ontology_changes);
+      EXPECT_EQ(got.pareto[i].data_changes, reference.pareto[i].data_changes);
+    }
+    EXPECT_EQ(got.best.data_changes, reference.best.data_changes);
+    EXPECT_EQ(got.best.consistent, reference.best.consistent);
+    EXPECT_TRUE(got.best.ontology_additions == reference.best.ontology_additions);
+    ASSERT_EQ(got.best.repaired.num_rows(), reference.best.repaired.num_rows());
+    for (RowId r = 0; r < reference.best.repaired.num_rows(); ++r) {
+      for (int a = 0; a < reference.best.repaired.num_attrs(); ++a) {
+        EXPECT_EQ(got.best.repaired.StringAt(r, a),
+                  reference.best.repaired.StringAt(r, a));
+      }
+    }
+  }
 }
 
 TEST(OfdCleanTest, RejectsOverlappingAntecedentConsequent) {

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -172,6 +173,87 @@ TEST(SynonymIndexTest, IncrementalAddMirrorsRepair) {
   EXPECT_TRUE(index.SenseContains(fda, adizem));
   index.AddValue(fda, adizem);  // idempotent
   EXPECT_EQ(index.Senses(adizem).size(), 1u);
+}
+
+TEST(SynonymIndexTest, AddValueReportsWhetherItInserted) {
+  Ontology ont = MakeDrugOntology();
+  Dictionary dict;
+  ValueId cartia = dict.Intern("cartia");
+  ValueId adizem = dict.Intern("adizem");
+  SynonymIndex index(ont, dict);
+  SenseId fda = ont.FindSense("fda_diltiazem");
+  EXPECT_FALSE(index.AddValue(fda, cartia));  // already compiled from the ontology
+  EXPECT_TRUE(index.AddValue(fda, adizem));
+  EXPECT_FALSE(index.AddValue(fda, adizem));  // second insert is a no-op
+}
+
+TEST(SynonymIndexTest, UndoingOnlyRealInsertionsPreservesTheBase) {
+  // The beam-search materialization pattern: speculative AddValue calls are
+  // undone with RemoveValue, but only for mappings AddValue actually created.
+  // A pre-existing (sense, value) pair must survive the round trip — the old
+  // unconditional undo deleted it from one map and then corrupted the other.
+  Ontology ont = MakeDrugOntology();
+  Dictionary dict;
+  ValueId cartia = dict.Intern("cartia");
+  ValueId adizem = dict.Intern("adizem");
+  SynonymIndex index(ont, dict);
+  SenseId fda = ont.FindSense("fda_diltiazem");
+  std::vector<std::pair<SenseId, ValueId>> applied;
+  for (ValueId v : {cartia, adizem}) {
+    if (index.AddValue(fda, v)) applied.emplace_back(fda, v);
+  }
+  for (const auto& [s, v] : applied) index.RemoveValue(s, v);
+  EXPECT_TRUE(index.SenseContains(fda, cartia));   // pre-existing: kept
+  EXPECT_FALSE(index.SenseContains(fda, adizem));  // speculative: undone
+  EXPECT_TRUE(index.Senses(adizem).empty());
+  // Removing an absent mapping is a no-op; both directions stay in sync.
+  index.RemoveValue(fda, adizem);
+  EXPECT_EQ(index.SenseValues(fda).size(), 1u);  // cartia (tiazac not interned)
+}
+
+TEST(SynonymIndexOverlayTest, ReadsThroughBaseAndAdditions) {
+  Ontology ont = MakeDrugOntology();
+  Dictionary dict;
+  ValueId cartia = dict.Intern("cartia");
+  ValueId tiazac = dict.Intern("tiazac");
+  ValueId adizem = dict.Intern("adizem");
+  SynonymIndex index(ont, dict);
+  SenseId fda = ont.FindSense("fda_diltiazem");
+
+  SynonymIndexOverlay overlay(index);
+  EXPECT_TRUE(overlay.SenseContains(fda, cartia));  // base read-through
+  EXPECT_FALSE(overlay.SenseContains(fda, adizem));
+  EXPECT_FALSE(overlay.Add(fda, cartia));  // present in the base: rejected
+  EXPECT_TRUE(overlay.Add(fda, adizem));
+  EXPECT_FALSE(overlay.Add(fda, adizem));  // duplicate addition: rejected
+  EXPECT_TRUE(overlay.SenseContains(fda, adizem));
+
+  // Accessors agree with a materialized copy (additions appended in order,
+  // sense lists merged sorted); the base index itself is untouched.
+  EXPECT_EQ(overlay.SenseValues(fda), (std::vector<ValueId>{cartia, tiazac, adizem}));
+  EXPECT_EQ(overlay.Senses(adizem), std::vector<SenseId>{fda});
+  EXPECT_TRUE(overlay.SenseHasValues(fda));
+  EXPECT_FALSE(index.SenseContains(fda, adizem));
+  EXPECT_TRUE(AuditSynonymIndexOverlay(overlay).ok());
+
+  overlay.Clear();
+  EXPECT_FALSE(overlay.SenseContains(fda, adizem));
+  EXPECT_TRUE(AuditSynonymIndexOverlay(overlay).ok());
+}
+
+TEST(SynonymIndexOverlayTest, AuditCatchesAdditionShadowedByBase) {
+  // An overlay addition that later appears in the base index would be
+  // double-counted by the scorer's materialization; the audit rejects it.
+  Ontology ont = MakeDrugOntology();
+  Dictionary dict;
+  ValueId adizem = dict.Intern("adizem");
+  SynonymIndex index(ont, dict);
+  SenseId fda = ont.FindSense("fda_diltiazem");
+  SynonymIndexOverlay overlay(index);
+  EXPECT_TRUE(overlay.Add(fda, adizem));
+  EXPECT_TRUE(AuditSynonymIndexOverlay(overlay).ok());
+  index.AddValue(fda, adizem);  // base mutated underneath the overlay
+  EXPECT_FALSE(AuditSynonymIndexOverlay(overlay).ok());
 }
 
 TEST(OntologyGeneratorTest, RespectsConfig) {

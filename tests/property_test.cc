@@ -218,6 +218,58 @@ TEST_P(PropertyTest, OfdCleanProducesConsistentParetoOrderedRepairs) {
   }
 }
 
+TEST_P(PropertyTest, OfdCleanDeterministicAcrossThreadsAndScoringModes) {
+  // The overlay-based incremental parallel beam search is an optimization,
+  // not a semantics change: on arbitrary dirty instances it must reproduce
+  // the serial full-rescore reference byte for byte, and feasible repairs
+  // must satisfy Σ under the repaired ontology.
+  DataGenConfig cfg;
+  cfg.num_rows = 250;
+  cfg.num_senses = 4;
+  cfg.error_rate = 0.06;
+  cfg.incompleteness_rate = 0.1;
+  cfg.seed = 3900 + static_cast<uint64_t>(GetParam());
+  GeneratedData data = GenerateData(cfg);
+  auto run = [&](bool incremental, int threads) {
+    OfdCleanConfig ccfg;
+    ccfg.incremental_scoring = incremental;
+    ccfg.num_threads = threads;
+    OfdClean cleaner(data.rel, data.ontology, data.sigma, ccfg);
+    return cleaner.Run();
+  };
+  OfdCleanResult reference = run(/*incremental=*/false, /*threads=*/1);
+  if (reference.best.tau_feasible) {
+    EXPECT_TRUE(reference.best.consistent);
+    SynonymIndex repaired_index(data.ontology, data.rel.dict());
+    for (const OntologyAddition& add : reference.best.ontology_additions) {
+      repaired_index.AddValue(add.sense, add.value);
+    }
+    OfdVerifier verifier(reference.best.repaired, repaired_index);
+    for (const Ofd& ofd : data.sigma) {
+      EXPECT_TRUE(verifier.Holds(ofd));
+    }
+  }
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    OfdCleanResult got = run(/*incremental=*/true, threads);
+    EXPECT_EQ(got.num_candidates, reference.num_candidates);
+    EXPECT_EQ(got.nodes_evaluated, reference.nodes_evaluated);
+    ASSERT_EQ(got.pareto.size(), reference.pareto.size());
+    for (size_t i = 0; i < reference.pareto.size(); ++i) {
+      EXPECT_EQ(got.pareto[i].ontology_changes, reference.pareto[i].ontology_changes);
+      EXPECT_EQ(got.pareto[i].data_changes, reference.pareto[i].data_changes);
+    }
+    EXPECT_EQ(got.best.data_changes, reference.best.data_changes);
+    EXPECT_TRUE(got.best.ontology_additions == reference.best.ontology_additions);
+    for (RowId r = 0; r < data.rel.num_rows(); ++r) {
+      for (int a = 0; a < data.rel.num_attrs(); ++a) {
+        EXPECT_EQ(got.best.repaired.StringAt(r, a),
+                  reference.best.repaired.StringAt(r, a));
+      }
+    }
+  }
+}
+
 TEST_P(PropertyTest, SigmaRoundTripsThroughText) {
   Rng rng(3700 + GetParam());
   Schema schema({"CC", "CTRY", "SYMP", "DIAG", "MED", "TEST"});

@@ -6,16 +6,21 @@ output) against a committed baseline and fails when:
 
   * a table present in the baseline is missing from the fresh run,
   * a table's row count changed (shape drift — refresh the baseline),
-  * a time-like cell regressed beyond tolerance, or
+  * a time-like cell regressed beyond tolerance,
   * a `micro_partition` intersection op (product / refine / error) reports
-    a flat-vs-legacy speedup below --speedup-min.
+    a flat-vs-legacy speedup below --speedup-min, or
+  * a `clean_beam` row reports a full-vs-incremental node-scoring speedup
+    below --clean-speedup-min, or is not byte-identical across modes.
 
 Time-like columns (names containing "ms", "(s)", "seconds", or ending in
 "_s") are machine-dependent, so they get a generous relative tolerance with
 an absolute slack floor for sub-millisecond cells: a cell passes if
     fresh <= base * (1 + rel_tol)   OR   fresh - base <= abs_slack.
-The speedup column of `micro_partition` is a same-process ratio and is
-therefore machine-independent; it is gated hard, with no tolerance.
+The speedup columns of `micro_partition` and `clean_beam` are same-process
+ratios and therefore machine-independent; they are gated hard, with no
+tolerance. The `identical` columns of the clean tables assert determinism
+(incremental + parallel search reproduces the serial full-rescore reference
+byte for byte) and must read "yes" everywhere.
 
 Usage:
     tools/bench_gate.py --baseline BENCH_core.json --fresh out/BENCH_core.json
@@ -49,7 +54,8 @@ def as_number(cell):
         return None
 
 
-def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min):
+def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min,
+                   clean_speedup_min=2.0):
     """Returns a list of human-readable failure strings (empty == pass)."""
     failures = []
     fresh_by_name = {t["bench"]: t for t in fresh}
@@ -90,6 +96,9 @@ def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min):
         if name == "micro_partition":
             failures.extend(
                 check_micro_partition(fresh_table, speedup_min))
+        if name in ("clean_beam", "clean_threads"):
+            failures.extend(
+                check_clean_table(fresh_table, clean_speedup_min))
     base_names = {t["bench"] for t in baseline}
     for extra in [n for n in fresh_by_name if n not in base_names]:
         print(f"note: fresh table {extra!r} has no committed baseline",
@@ -119,13 +128,39 @@ def check_micro_partition(table, speedup_min):
     return failures
 
 
+def check_clean_table(table, clean_speedup_min):
+    """Hard gates for the OFDClean beam-search tables: every row must be
+    byte-identical to the serial full-rescore reference, and the `clean_beam`
+    full-vs-incremental speedup (a same-process ratio) must meet the
+    minimum. The `clean_threads` speedup is machine-dependent (a single-CPU
+    runner cannot scale) and is deliberately not gated."""
+    failures = []
+    name = table["bench"]
+    columns = table["columns"]
+    identical_col = columns.index("identical")
+    speedup_col = columns.index("speedup")
+    for row in table["rows"]:
+        if row[identical_col] != "yes":
+            failures.append(
+                f"{name}: row {row[0]} is not byte-identical to the serial "
+                f"reference (identical={row[identical_col]!r})")
+        if name != "clean_beam":
+            continue
+        speedup = as_number(row[speedup_col])
+        if speedup is None or speedup < clean_speedup_min:
+            failures.append(
+                f"clean_beam: {row[0]} rows has full-vs-incremental speedup "
+                f"{row[speedup_col]} (gate requires >= {clean_speedup_min:g})")
+    return failures
+
+
 def run_gate(args):
     with open(args.baseline) as f:
         baseline = json.load(f)
     with open(args.fresh) as f:
         fresh = json.load(f)
     failures = compare_tables(baseline, fresh, args.rel_tol, args.abs_slack,
-                              args.speedup_min)
+                              args.speedup_min, args.clean_speedup_min)
     if failures:
         print(f"bench gate FAILED ({len(failures)} problem(s)) comparing "
               f"{args.fresh} against {args.baseline}:")
@@ -147,11 +182,19 @@ def self_test():
         {"bench": "serve_update_latency",
          "columns": ["N", "update(ms)", "full_reverify(ms)", "speedup"],
          "rows": [[5000, 0.014, 0.33, 23.0]]},
+        {"bench": "clean_beam",
+         "columns": ["rows", "cands", "nodes", "full(ms)", "incremental(ms)",
+                     "speedup", "identical"],
+         "rows": [[10000, 450, 1380, 420.0, 150.0, 2.80, "yes"]]},
+        {"bench": "clean_threads",
+         "columns": ["threads", "rows", "beam(ms)", "speedup", "identical"],
+         "rows": [[1, 10000, 150.0, 1.00, "yes"],
+                  [8, 10000, 160.0, 0.94, "yes"]]},
     ]
 
     def gate(fresh):
         return compare_tables(baseline, fresh, rel_tol=0.5, abs_slack=0.25,
-                              speedup_min=2.0)
+                              speedup_min=2.0, clean_speedup_min=2.0)
 
     def clone(tables):
         return json.loads(json.dumps(tables))
@@ -187,13 +230,31 @@ def self_test():
     slow_build[0]["rows"][0][4] = 1.10  # build speedup < 2.0: allowed
     checks.append(("build op not speedup-gated", gate(slow_build) == []))
 
-    # 6. A missing table fails.
+    # 6. A clean_beam speedup below the minimum fails; the thread-scaling
+    #    speedup is not gated (a single-CPU runner cannot scale).
+    slow_clean = clone(baseline)
+    slow_clean[2]["rows"][0][5] = 1.40  # clean_beam speedup < 2.0
+    failures = gate(slow_clean)
+    checks.append(("clean_beam speedup below minimum fails",
+                   len(failures) == 1 and "1.4" in failures[0]))
+    slow_threads = clone(baseline)
+    slow_threads[3]["rows"][1][3] = 0.50  # clean_threads speedup: allowed
+    checks.append(("clean_threads speedup not gated", gate(slow_threads) == []))
+
+    # 7. A non-identical clean row fails, in either clean table.
+    broken_identical = clone(baseline)
+    broken_identical[3]["rows"][1][4] = "NO"
+    failures = gate(broken_identical)
+    checks.append(("non-identical clean row fails",
+                   len(failures) == 1 and "byte-identical" in failures[0]))
+
+    # 8. A missing table fails.
     missing = clone(baseline)[1:]
     failures = gate(missing)
     checks.append(("missing table fails",
                    len(failures) == 1 and "missing" in failures[0]))
 
-    # 7. Shape drift (row count change) fails with refresh advice.
+    # 9. Shape drift (row count change) fails with refresh advice.
     reshaped = clone(baseline)
     reshaped[0]["rows"].append(["error", 20000, 0.73, 0.04, 16.0])
     failures = gate(reshaped)
@@ -223,6 +284,9 @@ def main():
     parser.add_argument("--speedup-min", type=float, default=2.0,
                         help="hard minimum for micro_partition intersection "
                              "op speedups (default 2.0)")
+    parser.add_argument("--clean-speedup-min", type=float, default=2.0,
+                        help="hard minimum for the clean_beam full-vs-"
+                             "incremental node-scoring speedup (default 2.0)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in negative/positive tests")
     args = parser.parse_args()
