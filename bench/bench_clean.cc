@@ -145,7 +145,12 @@ int main(int argc, char** argv) {
                 "add overhead here; the sweep still demonstrates that output\n"
                 "is identical across thread counts.\n\n");
   }
-  Table threads_table({"threads", "rows", "beam(ms)", "speedup", "identical"});
+  // `hw` is the machine's hardware concurrency: tools/bench_gate.py gates a
+  // scaling floor only on rows this machine can physically scale to
+  // (hw >= threads); the identical check is gated unconditionally.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  Table threads_table({"threads", "hw", "rows", "beam(ms)", "speedup",
+                       "identical"});
   {
     const int rows = row_sizes.back();
     GeneratedData data = MakeDirtyData(rows);
@@ -155,7 +160,8 @@ int main(int argc, char** argv) {
                          ? serial
                          : RunClean(data, /*incremental=*/true, threads, iters);
       threads_table.AddRow(
-          {Fmt("%d", threads), Fmt("%d", rows), Fmt("%.2f", run.beam_ms),
+          {Fmt("%d", threads), Fmt("%d", hw), Fmt("%d", rows),
+           Fmt("%.2f", run.beam_ms),
            Fmt("%.2f", run.beam_ms > 0 ? serial.beam_ms / run.beam_ms : 0.0),
            SameResults(serial.result, run.result) ? "yes" : "NO"});
     }

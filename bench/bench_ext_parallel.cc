@@ -53,10 +53,15 @@ int main(int argc, char** argv) {
 
   // Per-phase wall-clock comes from the shared metrics registry
   // (discover.validate.seconds / discover.products.seconds), diffed around
-  // each run so repetitions do not accumulate.
-  Table table({"threads", "seconds", "speedup", "validate_s", "validate_x",
-               "products_s", "ofds"});
-  double base = 0.0, base_validate = 0.0;
+  // each run so repetitions do not accumulate. Speedup columns are plain
+  // numbers (no "x" suffix) so tools/bench_gate.py gates the scaling floors
+  // without string parsing; `hw` records this machine's hardware
+  // concurrency — the gate enforces a floor only on rows the machine can
+  // physically scale to (hw >= threads).
+  Table table({"threads", "hw", "seconds", "speedup", "validate_s",
+               "validate_x", "products_s", "products_x", "identical"});
+  double base = 0.0, base_validate = 0.0, base_products = 0.0;
+  SigmaSet base_ofds;
   for (int threads : {1, 2, 4, 8}) {
     // One persistent pool per sweep point, shared across the run's lattice
     // levels and repetitions (the pool outlives each Discover call).
@@ -80,11 +85,16 @@ int main(int argc, char** argv) {
     if (threads == 1) {
       base = secs;
       base_validate = validate;
+      base_products = products;
+      base_ofds = result.ofds;
     }
-    table.AddRow({Fmt("%d", threads), Fmt("%.3f", secs),
-                  Fmt("%.2fx", base / secs), Fmt("%.3f", validate),
-                  Fmt("%.2fx", base_validate / std::max(validate, 1e-12)),
-                  Fmt("%.3f", products), Fmt("%zu", result.ofds.size())});
+    const bool identical = result.ofds == base_ofds;
+    table.AddRow({Fmt("%d", threads), Fmt("%d", hw), Fmt("%.3f", secs),
+                  Fmt("%.2f", base / secs), Fmt("%.3f", validate),
+                  Fmt("%.2f", base_validate / std::max(validate, 1e-12)),
+                  Fmt("%.3f", products),
+                  Fmt("%.2f", base_products / std::max(products, 1e-12)),
+                  identical ? "yes" : "NO"});
   }
   table.Print();
   WriteJsonIfRequested(flags, "ext_parallel", table);

@@ -46,7 +46,14 @@ for b in "${CORE_BENCHES[@]}"; do
     continue
   fi
   echo "running $b ..." >&2
-  "$bin" --json "$TMP/$b.ndjson" "$@" > /dev/null
+  # A crashing or CHECK-failing bench must fail the collection (and CI)
+  # instead of silently producing a truncated aggregate the gate would then
+  # misread as shape drift.
+  "$bin" --json "$TMP/$b.ndjson" "$@" > /dev/null || {
+    status=$?
+    echo "error: $b exited with status $status" >&2
+    exit "$status"
+  }
   cat "$TMP/$b.ndjson" >> "$TMP/core.ndjson"
 done
 ndjson_to_array "$TMP/core.ndjson" > "$OUT_DIR/BENCH_core.json"
@@ -55,7 +62,11 @@ echo "wrote $OUT_DIR/BENCH_core.json ($(wc -l < "$TMP/core.ndjson") tables)" >&2
 SERVE_BIN="$BUILD_DIR/bench/bench_serve"
 if [ -x "$SERVE_BIN" ]; then
   echo "running bench_serve ..." >&2
-  "$SERVE_BIN" --json "$TMP/serve.ndjson" "$@" > /dev/null
+  "$SERVE_BIN" --json "$TMP/serve.ndjson" "$@" > /dev/null || {
+    status=$?
+    echo "error: bench_serve exited with status $status" >&2
+    exit "$status"
+  }
   ndjson_to_array "$TMP/serve.ndjson" > "$OUT_DIR/BENCH_serve.json"
   echo "wrote $OUT_DIR/BENCH_serve.json ($(wc -l < "$TMP/serve.ndjson") tables)" >&2
 else

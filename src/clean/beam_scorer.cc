@@ -111,7 +111,18 @@ SynonymIndexOverlay BeamScorer::MakeOverlay(const std::vector<int>& picks) const
 }
 
 BeamScorer::NodeScore BeamScorer::ScoreFull(const std::vector<int>& picks) const {
-  SynonymIndexOverlay overlay = MakeOverlay(picks);
+  ScoreScratch scratch(index_);
+  return ScoreFull(picks, &scratch);
+}
+
+BeamScorer::NodeScore BeamScorer::ScoreFull(const std::vector<int>& picks,
+                                            ScoreScratch* scratch) const {
+  SynonymIndexOverlay& overlay = scratch->overlay_;
+  overlay.Clear();
+  for (int p : picks) {
+    const OntologyAddition& add = candidates_[static_cast<size_t>(p)];
+    overlay.Add(add.sense, add.value);
+  }
   const SynonymIndexOverlay* view = picks.empty() ? nullptr : &overlay;
   NodeScore score;
   for (size_t item = 0; item < items_.size(); ++item) {
@@ -122,10 +133,22 @@ BeamScorer::NodeScore BeamScorer::ScoreFull(const std::vector<int>& picks) const
 }
 
 BeamScorer::NodeScore BeamScorer::ScoreIncremental(const std::vector<int>& picks) const {
+  ScoreScratch scratch(index_);
+  return ScoreIncremental(picks, &scratch);
+}
+
+BeamScorer::NodeScore BeamScorer::ScoreIncremental(const std::vector<int>& picks,
+                                                   ScoreScratch* scratch) const {
   if (picks.empty()) return NodeScore{base_cost_, 0};
-  SynonymIndexOverlay overlay = MakeOverlay(picks);
+  SynonymIndexOverlay& overlay = scratch->overlay_;
+  overlay.Clear();
+  for (int p : picks) {
+    const OntologyAddition& add = candidates_[static_cast<size_t>(p)];
+    overlay.Add(add.sense, add.value);
+  }
   // Union of the picks' affected-class lists (each ascending).
-  std::vector<uint32_t> affected;
+  std::vector<uint32_t>& affected = scratch->affected_;
+  affected.clear();
   for (int p : picks) {
     const std::vector<uint32_t>& list = affected_[static_cast<size_t>(p)];
     affected.insert(affected.end(), list.begin(), list.end());

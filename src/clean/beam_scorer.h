@@ -68,13 +68,32 @@ class BeamScorer {
     int64_t classes_rescored = 0;
   };
 
+  /// Reusable per-worker scoring state: the overlay the node's insertions
+  /// are layered into and the affected-class union buffer. One instance per
+  /// worker, reused across every node that worker scores in a batch,
+  /// eliminates the per-node overlay/vector allocations that dominated
+  /// fine-grained expansion (the old one-node-per-dispatch shape). Scores
+  /// are independent of which scratch (or how warm) is used.
+  class ScoreScratch {
+   public:
+    explicit ScoreScratch(const SynonymIndex& base) : overlay_(base) {}
+
+   private:
+    friend class BeamScorer;
+    SynonymIndexOverlay overlay_;
+    std::vector<uint32_t> affected_;
+  };
+
   /// Scores a node (candidate indices into the registered set) by
   /// recomputing every class under the node's overlay.
   NodeScore ScoreFull(const std::vector<int>& picks) const;
+  NodeScore ScoreFull(const std::vector<int>& picks, ScoreScratch* scratch) const;
 
   /// Scores a node by recomputing only the classes its picks can affect;
   /// returns exactly ScoreFull's data_changes.
   NodeScore ScoreIncremental(const std::vector<int>& picks) const;
+  NodeScore ScoreIncremental(const std::vector<int>& picks,
+                             ScoreScratch* scratch) const;
 
   /// Σ of the memoized level-0 per-class costs (== ScoreFull({})).
   int64_t base_cost() const { return base_cost_; }

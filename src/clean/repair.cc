@@ -341,10 +341,18 @@ OfdCleanResult OfdClean::Run() {
     bool tau_feasible = true;
   };
   int64_t classes_rescored = 0;
-  auto score_node = [&](std::vector<int> picks) -> std::pair<Node, int64_t> {
+  // One scoring scratch (overlay + affected-union buffer) per worker, warm
+  // across every node of every level: batch-grained dispatch below hands
+  // each worker a run of nodes, so the per-node allocations that made
+  // fine-grained expansion regress are gone.
+  std::vector<BeamScorer::ScoreScratch> scratches;
+  scratches.reserve(static_cast<size_t>(pool->num_threads()));
+  for (int w = 0; w < pool->num_threads(); ++w) scratches.emplace_back(index);
+  auto score_node = [&](std::vector<int> picks,
+                        BeamScorer::ScoreScratch* scratch) -> std::pair<Node, int64_t> {
     BeamScorer::NodeScore s = config_.incremental_scoring
-                                  ? scorer.ScoreIncremental(picks)
-                                  : scorer.ScoreFull(picks);
+                                  ? scorer.ScoreIncremental(picks, scratch)
+                                  : scorer.ScoreFull(picks, scratch);
     FASTOFD_AUDIT_OK(scorer.AuditNodeScore(picks, s.data_changes));
     return {Node{std::move(picks), s.data_changes, s.data_changes <= budget},
             s.classes_rescored};
@@ -355,7 +363,7 @@ OfdCleanResult OfdClean::Run() {
   // truncated-count accounting both polluted the frontier and let the
   // diminishing-returns exit fire on bogus values. They do stay in the beam
   // — a deeper insertion can bring a node back under budget.
-  auto [zero, zero_rescored] = score_node({});
+  auto [zero, zero_rescored] = score_node({}, &scratches[0]);
   classes_rescored += zero_rescored;
   ++result.nodes_evaluated;
   if (zero.tau_feasible) {
@@ -383,20 +391,26 @@ OfdCleanResult OfdClean::Run() {
     if (expansions.empty()) break;
     std::vector<Node> level_nodes(expansions.size());
     std::vector<int64_t> level_rescored(expansions.size(), 0);
-    auto eval_expansion = [&](size_t e) {
+    auto eval_expansion = [&](size_t e, int worker) {
       auto [f, p] = expansions[e];
       std::vector<int> picks = frontier[f].picks;
       picks.push_back(p);
-      auto [node, rescored] = score_node(std::move(picks));
+      auto [node, rescored] =
+          score_node(std::move(picks), &scratches[static_cast<size_t>(worker)]);
       level_nodes[e] = std::move(node);
       level_rescored[e] = rescored;
     };
-    if (pool != nullptr) {
-      pool->ParallelFor(expansions.size(),
-                        [&](size_t e, int) { eval_expansion(e); });
-    } else {
-      for (size_t e = 0; e < expansions.size(); ++e) eval_expansion(e);
-    }
+    // Batch grain: a run of candidate expansions per task (not one node per
+    // dispatch), so scheduling cost amortizes over the batch while work
+    // stealing still rebalances the uneven tail (nodes with long
+    // affected-class lists). The level result is byte-identical for any
+    // grain or thread count — slots, then one deterministic sort below.
+    const size_t beam_grain =
+        config_.beam_grain > 0
+            ? static_cast<size_t>(config_.beam_grain)
+            : std::max<size_t>(1, expansions.size() /
+                                      (static_cast<size_t>(pool->num_threads()) * 8));
+    pool->ParallelForGrained(expansions.size(), beam_grain, eval_expansion);
     result.nodes_evaluated += static_cast<int64_t>(expansions.size());
     for (int64_t r : level_rescored) classes_rescored += r;
 
@@ -464,6 +478,7 @@ OfdCleanResult OfdClean::Run() {
   }
   result.pareto = std::move(filtered);
 
+  pool->PublishMetrics(&metrics);
   metrics.Add("clean.candidates", result.num_candidates);
   metrics.Add("clean.beam.nodes_evaluated", result.nodes_evaluated);
   metrics.Add("clean.beam.classes_rescored", classes_rescored);

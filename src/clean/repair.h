@@ -11,8 +11,9 @@
 // scored side-effect-free (SynonymIndexOverlay over the shared index, see
 // clean/beam_scorer.h), incrementally (only the classes a node's insertions
 // can affect are re-costed against the memoized level-0 per-class costs),
-// and in parallel (each level's expansions on ThreadPool::ParallelFor, with
-// byte-identical output for any thread count or scoring mode). Only the
+// and in parallel (each level's expansions in candidate batches on the
+// work-stealing pool, per-worker scoring scratch, byte-identical output for
+// any thread count, grain, or scoring mode). Only the
 // chosen repair is materialized with a full RepairData. Data repair builds
 // per-class conflict graphs (edges between tuples whose consequent values
 // are neither equal nor co-covered by the class's sense), takes a
@@ -69,6 +70,10 @@ struct OfdCleanConfig {
   /// conflict-graph construction (1 = serial). The repair output is
   /// identical for any thread count.
   int num_threads = 1;
+  /// Beam expansions per scoring task (0 = automatic, ~8 batches per
+  /// worker). Batches amortize dispatch and keep per-worker scoring scratch
+  /// warm; output is identical for any grain.
+  int beam_grain = 0;
   /// Shared execution pool; when null, Run() creates its own
   /// `num_threads`-wide pool once and reuses it across all phases and every
   /// beam-search node. When set, `num_threads` is ignored.

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/timer.h"
+#include "exec/task_group.h"
 #include "exec/thread_pool.h"
 
 namespace fastofd {
@@ -210,23 +211,34 @@ FastOfdResult FastOfd::Discover() {
               });
     stats.candidates_checked = static_cast<int64_t>(candidates.size());
 
-    std::vector<char> valid(candidates.size());
+    // Valid candidates land in a mutex-striped sink tagged with their
+    // canonical index; draining sorts by that index, so the apply loop below
+    // sees the same order as a serial run regardless of which worker
+    // validated what. Only validated candidates pay a (striped) lock.
+    ShardedSink<uint32_t> valid_sink(pool->num_threads());
     {
       ScopedTimer validate_timer(&metrics, "discover.validate.seconds");
       std::vector<Scratch> scratches(static_cast<size_t>(pool->num_threads()));
-      pool->ParallelFor(candidates.size(), [&](size_t i, int worker) {
-        valid[i] = candidate_valid(*candidates[i].lhs_partition,
-                                   candidates[i].node->partition,
-                                   candidates[i].a,
-                                   scratches[static_cast<size_t>(worker)]);
+      const size_t grain =
+          config_.validate_grain > 0
+              ? static_cast<size_t>(config_.validate_grain)
+              : std::max<size_t>(1, candidates.size() /
+                                        (static_cast<size_t>(pool->num_threads()) * 16));
+      pool->ParallelForGrained(candidates.size(), grain, [&](size_t i, int worker) {
+        if (candidate_valid(*candidates[i].lhs_partition,
+                            candidates[i].node->partition, candidates[i].a,
+                            scratches[static_cast<size_t>(worker)])) {
+          valid_sink.Push(i, static_cast<uint32_t>(i));
+        }
       });
       for (const Scratch& s : scratches) {
         result.values_scanned += s.values_scanned;
       }
     }
 
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      if (!valid[i]) continue;
+    for (const auto& [seq, idx] : valid_sink.DrainSorted()) {
+      (void)seq;
+      const size_t i = idx;
       AttrSet lhs = candidates[i].attrs.Without(candidates[i].a);
       if (!config_.opt_augmentation && !minimal_against_sigma(lhs, candidates[i].a)) {
         continue;
@@ -297,32 +309,35 @@ FastOfdResult FastOfd::Discover() {
         }
       }
       result.partition_products += static_cast<int64_t>(pending.size());
-      // `next` is not resized after this point, so per-element writes from
-      // different workers are safe.
+      // Canonical lattice order: the ordered reduce consumes results by
+      // this index, so `next` fills identically for any thread count, grain,
+      // or steal schedule.
+      std::sort(pending.begin(), pending.end(),
+                [](const Pending& x, const Pending& y) {
+                  return x.combined < y.combined;
+                });
       ScopedTimer products_timer(&metrics, "discover.products.seconds");
-      if (pending.size() < static_cast<size_t>(pool->num_threads())) {
-        // Too few products to occupy the pool across candidates: go wide
-        // *inside* each product instead (chunked over the outer classes;
-        // output is byte-identical to the serial kernel).
-        for (const Pending& p : pending) {
-          Node& node = next.at(p.combined);
-          node.partition = StrippedPartition::ProductParallel(
-              p.left->partition, p.right->partition, pool);
-          node.superkey = node.partition.IsSuperkey();
-          FASTOFD_AUDIT_OK(node.partition.AuditInvariants(rel_, p.combined));
-        }
-      } else {
-        pool->ParallelFor(pending.size(), [&](size_t i, int) {
-          const Pending& p = pending[i];
-          Node& node = next.at(p.combined);
-          node.partition =
-              StrippedPartition::Product(p.left->partition, p.right->partition);
-          node.superkey = node.partition.IsSuperkey();
-          // Audit builds re-check every product against the partition laws
-          // (and, on small relations, against a naive rebuild of Π*_X).
-          FASTOFD_AUDIT_OK(node.partition.AuditInvariants(rel_, p.combined));
-        });
-      }
+      // Level-wide task parallelism: one task per product, every pending
+      // node in flight at once. A product whose operands are large splits
+      // *itself* further — ProductParallel's chunks become nested, stealable
+      // subtasks — so both levels of parallelism compose instead of the old
+      // either/or (wide across products XOR wide inside one product).
+      OrderedReduce<StrippedPartition>(
+          pool, pending.size(), /*grain=*/1,
+          [&](size_t i, int) {
+            const Pending& p = pending[i];
+            return StrippedPartition::ProductParallel(p.left->partition,
+                                                      p.right->partition, pool);
+          },
+          [&](size_t i, StrippedPartition part) {
+            const Pending& p = pending[i];
+            Node& node = next.at(p.combined);
+            node.partition = std::move(part);
+            node.superkey = node.partition.IsSuperkey();
+            // Audit builds re-check every product against the partition laws
+            // (and, on small relations, against a naive rebuild of Π*_X).
+            FASTOFD_AUDIT_OK(node.partition.AuditInvariants(rel_, p.combined));
+          });
     }
 
     stats.seconds = timer.Seconds();
@@ -338,6 +353,7 @@ FastOfdResult FastOfd::Discover() {
   }
 
   std::sort(result.ofds.begin(), result.ofds.end());
+  pool->PublishMetrics(&metrics);
   metrics.Add("discover.levels", static_cast<int64_t>(result.level_stats.size()));
   metrics.Add("discover.values_scanned", result.values_scanned);
   metrics.Add("discover.partition_products", result.partition_products);

@@ -1,0 +1,37 @@
+#include "exec/task_group.h"
+
+namespace fastofd {
+
+void TaskGroup::Submit(std::function<void(int)> fn) {
+  if (pool_->num_threads() <= 1) {
+    // Serial pool: run inline immediately (worker 0), preserving the pool's
+    // inline-in-order contract. Nested submissions recurse, depth-bounded by
+    // the nesting structure of the algorithm.
+    fn(0);
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_->Enqueue(this, std::move(fn));
+}
+
+void TaskGroup::OnTaskDone() {
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  // Every completion (not just the last) wakes sleepers: an ordered-reduce
+  // consumer may be waiting on one specific block's flag, and a nested
+  // waiter may now find a newly stealable task. Tasks are coarse, so one
+  // notify per completion is cheap.
+  pool_->NotifyStateChange();
+}
+
+void TaskGroup::Wait() {
+  if (pool_->num_threads() <= 1) return;  // Everything already ran inline.
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    const uint64_t seen = pool_->StateEpoch();
+    if (pool_->HelpExecuteOne(this)) continue;
+    pool_->WaitEpochChangeOr(seen, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+}  // namespace fastofd

@@ -1,95 +1,229 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "exec/task_group.h"
 
 namespace fastofd {
 
 namespace {
-// The pool whose job the current thread is executing a body for (nullptr
-// outside ParallelFor). Lets a nested ParallelFor on the same pool detect
-// itself and degrade to an inline serial loop instead of deadlocking on
-// job_mu_.
-thread_local const ThreadPool* tls_running_pool = nullptr;
+// Identity of the worker thread: which pool owns it and its id there. Set
+// once at WorkerLoop entry; threads the pool does not own keep the default.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+thread_local int tls_worker_id = -1;
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
-  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
-  for (int w = 1; w < num_threads_; ++w) {
-    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  const size_t shard_count = static_cast<size_t>(num_threads_) + 1;
+  shards_ = std::make_unique<Shard[]>(shard_count);
+  executed_ = std::make_unique<std::atomic<int64_t>[]>(static_cast<size_t>(num_threads_));
+  stolen_ = std::make_unique<std::atomic<int64_t>[]>(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    executed_[static_cast<size_t>(w)].store(0, std::memory_order_relaxed);
+    stolen_[static_cast<size_t>(w)].store(0, std::memory_order_relaxed);
+  }
+  if (num_threads_ >= 2) {
+    workers_.reserve(static_cast<size_t>(num_threads_));
+    for (int w = 0; w < num_threads_; ++w) {
+      workers_.emplace_back([this, w] { WorkerLoop(w); });
+    }
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(wake_mu_);
     stop_ = true;
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
-  work_cv_.notify_all();
+  wake_cv_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::RunChunks(int worker) {
-  const ThreadPool* prev = tls_running_pool;
-  tls_running_pool = this;
-  size_t i;
-  while ((i = next_index_.fetch_add(chunk_size_, std::memory_order_relaxed)) <
-         job_size_) {
-    size_t end = std::min(job_size_, i + chunk_size_);
-    for (; i < end; ++i) (*body_)(i, worker);
+int ThreadPool::current_worker() const {
+  return tls_worker_pool == this ? tls_worker_id : -1;
+}
+
+void ThreadPool::NotifyStateChange() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
-  tls_running_pool = prev;
+  wake_cv_.notify_all();
+}
+
+void ThreadPool::WaitEpochChangeOr(uint64_t seen, const std::function<bool()>& ready) {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  wake_cv_.wait(lock, [&] {
+    return stop_ || epoch_.load(std::memory_order_acquire) != seen || ready();
+  });
+}
+
+void ThreadPool::Enqueue(TaskGroup* group, std::function<void(int)> fn) {
+  const int self = current_worker();
+  const size_t shard = self >= 0 ? static_cast<size_t>(self)
+                                 : static_cast<size_t>(num_threads_);  // inject
+  {
+    std::lock_guard<std::mutex> lock(shards_[shard].mu);
+    shards_[shard].tasks.push_back(Task{group, std::move(fn)});
+  }
+  NotifyStateChange();
+}
+
+bool ThreadPool::TryGetTask(int self, const TaskGroup* only_group, Task* out) {
+  FASTOFD_CHECK(self >= 0 && self < num_threads_);
+  const size_t shard_count = static_cast<size_t>(num_threads_) + 1;
+  // Own deque first, newest task first (LIFO): a nested wait finds the
+  // subtasks it just pushed while they are still hot in cache.
+  {
+    Shard& own = shards_[static_cast<size_t>(self)];
+    std::lock_guard<std::mutex> lock(own.mu);
+    for (auto it = own.tasks.rbegin(); it != own.tasks.rend(); ++it) {
+      if (only_group == nullptr || it->group == only_group) {
+        *out = std::move(*it);
+        own.tasks.erase(std::next(it).base());
+        return true;
+      }
+    }
+  }
+  // Then steal round-robin starting past self, oldest task first (FIFO): the
+  // front of a victim's deque is the task it queued earliest, typically the
+  // coarsest remaining work. Taking from the inject shard is normal dispatch
+  // of externally submitted work, not a steal — only tasks lifted from
+  // another worker's deque count, so the stolen/executed ratio measures how
+  // much the scheduler actually rebalanced.
+  for (size_t off = 1; off < shard_count; ++off) {
+    const size_t victim_index = (static_cast<size_t>(self) + off) % shard_count;
+    Shard& victim = shards_[victim_index];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    for (auto it = victim.tasks.begin(); it != victim.tasks.end(); ++it) {
+      if (only_group == nullptr || it->group == only_group) {
+        *out = std::move(*it);
+        victim.tasks.erase(it);
+        if (victim_index != static_cast<size_t>(num_threads_)) {
+          stolen_[static_cast<size_t>(self)].fetch_add(1, std::memory_order_relaxed);
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ThreadPool::ExecuteTask(Task& task, int worker) {
+  task.fn(worker);
+  executed_[static_cast<size_t>(worker)].fetch_add(1, std::memory_order_relaxed);
+  TaskGroup* group = task.group;
+  // Destroy the closure (and anything it captured by value) *before*
+  // crediting the group: once Wait() returns, the caller may free state the
+  // closure referenced.
+  task.fn = nullptr;
+  group->OnTaskDone();
+}
+
+bool ThreadPool::HelpExecuteOne(TaskGroup* group) {
+  const int self = current_worker();
+  if (self < 0) return false;
+  Task task;
+  if (!TryGetTask(self, group, &task)) return false;
+  ExecuteTask(task, self);
+  return true;
 }
 
 void ThreadPool::WorkerLoop(int worker) {
-  uint64_t seen_epoch = 0;
+  tls_worker_pool = this;
+  tls_worker_id = worker;
+#if defined(__linux__)
+  char name[16];
+  std::snprintf(name, sizeof(name), "fastofd-w%d", worker);
+  pthread_setname_np(pthread_self(), name);
+#endif
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-      if (stop_) return;
-      seen_epoch = epoch_;
+    // Epoch snapshot precedes the probe: a submission landing after a failed
+    // probe bumps the epoch, so the wait below returns immediately.
+    const uint64_t seen = epoch_.load(std::memory_order_acquire);
+    Task task;
+    if (TryGetTask(worker, /*only_group=*/nullptr, &task)) {
+      ExecuteTask(task, worker);
+      continue;
     }
-    RunChunks(worker);
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (--active_workers_ == 0) done_cv_.notify_all();
-    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [&] {
+      return stop_ || epoch_.load(std::memory_order_acquire) != seen;
+    });
+    if (stop_) return;
   }
 }
 
-void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t, int)>& body) {
+void ThreadPool::ParallelForGrained(size_t n, size_t grain,
+                                    const std::function<void(size_t, int)>& body) {
   if (n == 0) return;
-  if (num_threads_ <= 1 || n == 1 || tls_running_pool == this) {
-    // Serial pools, trivial jobs, and nested calls all run inline.
-    for (size_t i = 0; i < n; ++i) body(i, 0);
+  if (grain == 0) {
+    // ~8 blocks per worker: enough slack for stealing to balance uneven
+    // bodies without swamping the deques.
+    grain = std::max<size_t>(1, n / (static_cast<size_t>(num_threads_) * 8));
+  }
+  const int self = current_worker();
+  if (num_threads_ <= 1 || (self >= 0 && n <= grain)) {
+    // Serial pools run inline on the caller (in order, as worker 0); a
+    // nested single-block call runs inline under the worker's own id. An
+    // *external* caller never runs bodies inline — its thread has no
+    // reserved worker id, and borrowing one could collide with that
+    // worker's scratch while other jobs are in flight.
+    const int w = self >= 0 ? self : 0;
+    for (size_t i = 0; i < n; ++i) body(i, w);
     return;
   }
-  // One job at a time: concurrent callers queue up here.
-  std::lock_guard<std::mutex> job_lock(job_mu_);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    FASTOFD_CHECK(body_ == nullptr);
-    body_ = &body;
-    job_size_ = n;
-    // Several chunks per worker for load balance without contention on the
-    // shared index counter.
-    chunk_size_ = std::max<size_t>(
-        1, n / (static_cast<size_t>(num_threads_) * 8));
-    next_index_.store(0, std::memory_order_relaxed);
-    active_workers_ = num_threads_ - 1;
-    ++epoch_;
+  TaskGroup group(this);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    const size_t end = std::min(n, begin + grain);
+    group.Submit([&body, begin, end](int worker) {
+      for (size_t i = begin; i < end; ++i) body(i, worker);
+    });
   }
-  work_cv_.notify_all();
-  RunChunks(/*worker=*/0);  // The caller participates as worker 0.
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return active_workers_ == 0; });
-    body_ = nullptr;
-    job_size_ = 0;
+  group.Wait();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t, int)>& body) {
+  ParallelForGrained(n, /*grain=*/0, body);
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::Stats() const {
+  std::vector<WorkerStats> stats(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    stats[static_cast<size_t>(w)].executed =
+        executed_[static_cast<size_t>(w)].load(std::memory_order_relaxed);
+    stats[static_cast<size_t>(w)].stolen =
+        stolen_[static_cast<size_t>(w)].load(std::memory_order_relaxed);
   }
+  return stats;
+}
+
+void ThreadPool::PublishMetrics(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  metrics->Set("exec.workers", static_cast<double>(num_threads_));
+  int64_t total_executed = 0;
+  int64_t total_stolen = 0;
+  char name[64];
+  for (int w = 0; w < num_threads_; ++w) {
+    const int64_t ex = executed_[static_cast<size_t>(w)].load(std::memory_order_relaxed);
+    const int64_t st = stolen_[static_cast<size_t>(w)].load(std::memory_order_relaxed);
+    total_executed += ex;
+    total_stolen += st;
+    std::snprintf(name, sizeof(name), "exec.worker%02d.executed", w);
+    metrics->Set(name, static_cast<double>(ex));
+    std::snprintf(name, sizeof(name), "exec.worker%02d.stolen", w);
+    metrics->Set(name, static_cast<double>(st));
+  }
+  metrics->Set("exec.tasks_executed", static_cast<double>(total_executed));
+  metrics->Set("exec.tasks_stolen", static_cast<double>(total_stolen));
 }
 
 }  // namespace fastofd

@@ -1,12 +1,41 @@
-// Shared execution substrate: a persistent worker pool.
+// Shared execution substrate: a persistent work-stealing task scheduler.
 //
-// Every compute-heavy phase (candidate validation, partition products,
-// sense assignment, EMD edge weights, conflict-graph construction) runs on
-// one ThreadPool created once per Discover()/Clean() invocation — or shared
-// across invocations by the caller — instead of spawning and joining fresh
-// std::threads per lattice level. The house determinism contract: work items
-// are *computed* in parallel into pre-sized slots and *applied* sequentially
-// in a fixed order, so output is byte-identical for any thread count.
+// Every compute-heavy phase (candidate validation, partition products, beam
+// expansion, sense assignment, EMD edge weights, conflict-graph
+// construction) runs on one ThreadPool created once per Discover()/Clean()
+// invocation — or shared across invocations by the caller — instead of
+// spawning and joining fresh std::threads per lattice level.
+//
+// The original pool ran one flat ParallelFor job at a time behind a job
+// mutex, with contiguous chunks claimed off a shared atomic counter. That
+// shape cannot express the two-level parallelism the hot phases need (many
+// partition products per lattice level, each itself splittable) and it
+// serialized concurrent callers such as the cleaning service. The pool is
+// now a task scheduler:
+//
+//   * every worker owns a deque of tasks: newly submitted work is pushed to
+//     the back and popped from the back by the owner (LIFO, for cache
+//     locality), while idle workers steal from the *front* of a victim's
+//     deque (FIFO, so the oldest — typically largest — task migrates);
+//   * tasks belong to TaskGroups (exec/task_group.h) which support nested
+//     submission: a task may open its own group, submit subtasks, and
+//     help-execute them while waiting, which is how one huge partition
+//     product splits itself while its sibling products run;
+//   * there is no per-job mutex: tasks from concurrent callers interleave
+//     at task granularity instead of whole jobs queueing behind each other.
+//
+// Worker identity: construction spawns exactly `num_threads` OS threads
+// (named fastofd-w<N>) when num_threads >= 2; external caller threads
+// submit and wait but never execute task bodies, so a worker id uniquely
+// identifies an OS thread and per-worker scratch is collision-free even
+// with concurrent callers. With num_threads <= 1 no threads are spawned
+// and everything runs inline and serially on the caller (worker 0).
+//
+// The house determinism contract is unchanged: parallel stages *compute*
+// into pre-sized slots (or push into sequence-tagged sinks, see
+// exec/task_group.h) and results are *applied* sequentially in a fixed
+// order, so output is byte-identical for any thread count, grain size, or
+// steal schedule.
 
 #ifndef FASTOFD_EXEC_THREAD_POOL_H_
 #define FASTOFD_EXEC_THREAD_POOL_H_
@@ -14,25 +43,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace fastofd {
 
-/// A fixed-size pool of persistent workers with chunked parallel-for
-/// dispatch. Construction spawns `num_threads - 1` workers; the calling
-/// thread participates in every ParallelFor as worker 0, so concurrency is
-/// exactly `num_threads`. With num_threads <= 1 no threads are spawned and
-/// ParallelFor degenerates to an inline serial loop.
-///
-/// The pool runs one job at a time, but is safe to share between threads:
-/// ParallelFor calls from distinct threads serialize on an internal job
-/// mutex (the cleaning service submits every request's parallel work to one
-/// shared pool this way). A *nested* call — ParallelFor from inside a body
-/// running on this pool — runs the inner loop inline and serially on the
-/// calling worker instead of deadlocking.
+class MetricsRegistry;
+class TaskGroup;
+
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -41,15 +64,42 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total worker count (including the calling thread), always >= 1.
+  /// Concurrency level of the pool, always >= 1. For num_threads() >= 2 this
+  /// is the number of spawned worker threads; 1 means inline serial.
   int num_threads() const { return num_threads_; }
 
-  /// Runs body(index, worker) for every index in [0, n), distributing
-  /// contiguous chunks over the workers; blocks until all indices complete.
-  /// `worker` is in [0, num_threads()) — use it to index per-thread scratch.
-  /// The body must not touch shared mutable state without synchronization;
-  /// writing to a distinct slot per index is the intended pattern.
+  /// Worker index of the calling thread on *this* pool, in
+  /// [0, num_threads()), or -1 when the caller is not one of its workers.
+  int current_worker() const;
+
+  /// Runs body(index, worker) for every index in [0, n); blocks until all
+  /// indices complete. Indices are dispatched in contiguous blocks of
+  /// `grain` (grain == 0 picks an automatic size of ~8 blocks per worker).
+  /// `worker` is in [0, num_threads()) and is unique per OS thread — use it
+  /// to index per-thread scratch. The body must not touch shared mutable
+  /// state without synchronization; writing to a distinct slot per index is
+  /// the intended pattern. Nested calls (from inside a task body on this
+  /// pool) parallelize too: the inner blocks become stealable subtasks.
+  void ParallelForGrained(size_t n, size_t grain,
+                          const std::function<void(size_t index, int worker)>& body);
+
+  /// ParallelForGrained with the automatic grain.
   void ParallelFor(size_t n, const std::function<void(size_t index, int worker)>& body);
+
+  /// Per-worker scheduler counters: tasks executed, and the subset that was
+  /// taken from somewhere other than the worker's own deque (a steal from a
+  /// victim's deque or a grab from the external-submission queue).
+  struct WorkerStats {
+    int64_t executed = 0;
+    int64_t stolen = 0;
+  };
+  std::vector<WorkerStats> Stats() const;
+
+  /// Publishes scheduler gauges (exec.workers, exec.tasks_executed,
+  /// exec.tasks_stolen, exec.worker<NN>.executed/.stolen) into `metrics`.
+  /// Gauges overwrite, so republishing after each phase is safe. No-op when
+  /// metrics is null.
+  void PublishMetrics(MetricsRegistry* metrics) const;
 
   /// A reasonable default worker count for this machine.
   static int DefaultThreads() {
@@ -57,25 +107,63 @@ class ThreadPool {
     return hw == 0 ? 1 : static_cast<int>(hw);
   }
 
+  // --- Scheduler internals exposed for the exec primitives ---------------
+  // (TaskGroup::Wait and OrderedReduce's streaming consumer; not intended
+  // for general use.)
+
+  /// Monotonic counter bumped on every submission and task completion.
+  /// Snapshot it *before* probing queue state, then sleep on the snapshot:
+  /// any concurrent state change invalidates it, so no wakeup is missed.
+  uint64_t StateEpoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Blocks until the epoch differs from `seen` or `ready()` holds (ready
+  /// is re-evaluated under the scheduler's wake lock).
+  void WaitEpochChangeOr(uint64_t seen, const std::function<bool()>& ready);
+
+  /// If the calling thread is a worker of this pool and a task belonging to
+  /// `group` is available (own deque first, then steal), executes it and
+  /// returns true. Returns false otherwise. The group filter keeps nested
+  /// waits from recursing into unrelated coarse tasks.
+  bool HelpExecuteOne(TaskGroup* group);
+
  private:
+  friend class TaskGroup;
+
+  struct Task {
+    TaskGroup* group = nullptr;
+    std::function<void(int worker)> fn;
+  };
+  // One deque per worker plus a trailing inject queue for submissions from
+  // threads the pool does not own. Each shard has its own mutex: the striping
+  // keeps submission and stealing lock-cheap.
+  struct Shard {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  // Enqueues a task (own deque for workers, inject queue otherwise) and
+  // wakes sleepers. Called by TaskGroup::Submit after bumping its pending
+  // count.
+  void Enqueue(TaskGroup* group, std::function<void(int)> fn);
+  // Pops a task: `self`'s own deque back first, then round-robin steals from
+  // other shards' fronts. With `only_group` set, skips tasks from other
+  // groups. Returns false when nothing eligible is queued.
+  bool TryGetTask(int self, const TaskGroup* only_group, Task* out);
+  // Runs the task, destroys its closure, then credits the owning group.
+  void ExecuteTask(Task& task, int worker);
+  void NotifyStateChange();
   void WorkerLoop(int worker);
-  // Claims chunks of the current job until indices are exhausted.
-  void RunChunks(int worker);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
+  std::unique_ptr<Shard[]> shards_;  // num_threads_ + 1; last is the inject queue.
+  std::unique_ptr<std::atomic<int64_t>[]> executed_;
+  std::unique_ptr<std::atomic<int64_t>[]> stolen_;
 
-  std::mutex job_mu_;                 // Serializes whole jobs across callers.
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // Signals workers: new job or stop.
-  std::condition_variable done_cv_;   // Signals the caller: job finished.
-  const std::function<void(size_t, int)>* body_ = nullptr;
-  size_t job_size_ = 0;
-  size_t chunk_size_ = 1;
-  uint64_t epoch_ = 0;                // Bumped per job; workers wait on it.
-  int active_workers_ = 0;            // Workers still inside the current job.
-  std::atomic<size_t> next_index_{0};
-  bool stop_ = false;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<uint64_t> epoch_{0};  // Written under wake_mu_; read lock-free.
+  bool stop_ = false;               // Guarded by wake_mu_.
 };
 
 }  // namespace fastofd

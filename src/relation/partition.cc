@@ -433,14 +433,19 @@ StrippedPartition StrippedPartition::ProductParallel(const StrippedPartition& a,
   const StrippedPartition& probe_side = a_probes ? a : b;
   const StrippedPartition& outer = a_probes ? b : a;
   // The probe table is shared read-only across workers; each worker emits
-  // into its own chunk arena with its thread-local counts/slots.
+  // into its own chunk arena with its thread-local counts/slots. Filling it
+  // parallelizes too: distinct classes hold distinct rows, so per-class
+  // scatter writes never alias. This was the serial prologue that capped
+  // each product's scaling before the emission chunks even started.
   std::vector<int32_t> probe(static_cast<size_t>(a.num_rows_), -1);
   const size_t num_probe_classes = probe_side.NumClassesSize();
-  for (size_t ci = 0; ci < num_probe_classes; ++ci) {
+  const size_t fill_grain = std::max<size_t>(
+      1, num_probe_classes / (static_cast<size_t>(pool->num_threads()) * 4));
+  pool->ParallelForGrained(num_probe_classes, fill_grain, [&](size_t ci, int) {
     for (RowId r : probe_side.Class(ci)) {
       probe[static_cast<size_t>(r)] = static_cast<int32_t>(ci);
     }
-  }
+  });
   // Chunk the outer classes into contiguous ranges balanced by arena rows.
   // Per-class emission is independent, so concatenating chunk outputs in
   // chunk order reproduces the serial class order byte-for-byte no matter
@@ -465,7 +470,10 @@ StrippedPartition StrippedPartition::ProductParallel(const StrippedPartition& a,
     std::vector<uint32_t> offsets;
   };
   std::vector<Chunk> chunks(num_chunks);
-  pool->ParallelFor(num_chunks, [&](size_t i, int /*worker*/) {
+  // Grain 1: the chunks above are already balanced by arena rows, and each
+  // becomes one stealable task — from a lattice-level task this nests, so an
+  // oversized product borrows idle workers instead of running serially.
+  pool->ParallelForGrained(num_chunks, /*grain=*/1, [&](size_t i, int /*worker*/) {
     PartitionScratch& scratch = ThreadLocalScratch();
     scratch.EnsureClasses(num_probe_classes);
     EmitIntersection(outer, bounds[i], bounds[i + 1], probe, &scratch,

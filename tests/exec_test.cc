@@ -14,6 +14,7 @@
 #include "common/metrics.h"
 #include "datagen/datagen.h"
 #include "discovery/fastofd.h"
+#include "exec/task_group.h"
 #include "exec/thread_pool.h"
 #include "ontology/synonym_index.h"
 #include "relation/partition.h"
@@ -88,6 +89,188 @@ TEST(ThreadPoolTest, EmptyJobAndClampedThreadCount) {
   clamped.ParallelFor(0, [&](size_t, int) { ++calls; });
   EXPECT_EQ(calls, 0);
   EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainedEveryIndexOnceAtAnyGrain) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (size_t grain : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{1000}}) {
+      const size_t n = 777;
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelForGrained(n, grain, [&](size_t i, int worker) {
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, threads);
+        hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "threads " << threads << " grain " << grain << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersBothComplete) {
+  // Two external threads drive the same pool at once. The old pool queued
+  // whole jobs behind a job mutex; the scheduler interleaves their tasks.
+  // Either way every index of both jobs must run exactly once.
+  ThreadPool pool(4);
+  const size_t n = 20000;
+  std::vector<std::atomic<int>> hits_a(n), hits_b(n);
+  std::thread other([&] {
+    pool.ParallelFor(n, [&](size_t i, int) { hits_b[i].fetch_add(1); });
+  });
+  pool.ParallelFor(n, [&](size_t i, int) { hits_a[i].fetch_add(1); });
+  other.join();
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits_a[i].load(), 1) << i;
+    ASSERT_EQ(hits_b[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, StatsCountExecutedTasksAndPublishGauges) {
+  ThreadPool pool(3);
+  pool.ParallelForGrained(96, /*grain=*/4, [](size_t, int) {});
+  int64_t executed = 0;
+  int64_t stolen = 0;
+  for (const ThreadPool::WorkerStats& w : pool.Stats()) {
+    executed += w.executed;
+    stolen += w.stolen;
+  }
+  EXPECT_EQ(executed, 96 / 4);  // One task per grain block.
+  EXPECT_GE(stolen, 0);
+  EXPECT_LE(stolen, executed);
+  MetricsRegistry reg;
+  pool.PublishMetrics(&reg);
+  MetricsSnapshot s = reg.Snapshot();
+  EXPECT_DOUBLE_EQ(s.gauges.at("exec.workers"), 3.0);
+  EXPECT_DOUBLE_EQ(s.gauges.at("exec.tasks_executed"),
+                   static_cast<double>(executed));
+  EXPECT_DOUBLE_EQ(s.gauges.at("exec.tasks_stolen"), static_cast<double>(stolen));
+  EXPECT_EQ(s.gauges.count("exec.worker00.executed"), 1u);
+  EXPECT_EQ(s.gauges.count("exec.worker02.stolen"), 1u);
+  pool.PublishMetrics(nullptr);  // No-op, no crash.
+}
+
+TEST(TaskGroupTest, SubmitFromExternalThreadRunsEverything) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    TaskGroup group(&pool);
+    std::atomic<int64_t> sum{0};
+    for (int t = 0; t < 64; ++t) {
+      group.Submit([&sum, t](int worker) {
+        EXPECT_GE(worker, 0);
+        sum.fetch_add(t);
+      });
+    }
+    group.Wait();
+    EXPECT_EQ(sum.load(), 64 * 63 / 2) << "threads " << threads;
+    group.Wait();  // Idempotent after completion.
+  }
+}
+
+TEST(TaskGroupTest, NestedSubmissionFromInsideTasks) {
+  // Each outer task forks its own child group — the shape a large partition
+  // product takes when it splits itself mid-level. The outer Wait must see
+  // all 8 * 16 leaf increments, at any thread count including serial.
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::atomic<int64_t> leaves{0};
+    TaskGroup outer(&pool);
+    for (int t = 0; t < 8; ++t) {
+      outer.Submit([&pool, &leaves](int) {
+        TaskGroup inner(&pool);
+        for (int u = 0; u < 16; ++u) {
+          inner.Submit([&leaves](int) { leaves.fetch_add(1); });
+        }
+        inner.Wait();
+        // The child work is visibly complete before the parent task ends.
+        EXPECT_GE(leaves.load(), 16);
+      });
+    }
+    outer.Wait();
+    EXPECT_EQ(leaves.load(), 8 * 16) << "threads " << threads;
+  }
+}
+
+TEST(TaskGroupTest, NestedParallelForInsideTasksCoversAllIndices) {
+  // ParallelFor from inside a task parallelizes (the old pool degraded it to
+  // an inline serial loop); either way indices run exactly once.
+  ThreadPool pool(4);
+  const size_t inner_n = 500;
+  std::vector<std::atomic<int>> hits(4 * inner_n);
+  TaskGroup group(&pool);
+  for (size_t t = 0; t < 4; ++t) {
+    group.Submit([&pool, &hits, t, inner_n](int) {
+      pool.ParallelForGrained(inner_n, /*grain=*/16, [&hits, t, inner_n](size_t i, int) {
+        hits[t * inner_n + i].fetch_add(1);
+      });
+    });
+  }
+  group.Wait();
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ShardedSinkTest, DrainSortedMergesConcurrentPushes) {
+  ShardedSink<int> sink(/*num_stripes=*/4);
+  ThreadPool pool(8);
+  const size_t n = 5000;
+  // Push a deterministic subset (every third seq) from many workers.
+  pool.ParallelForGrained(n, /*grain=*/7, [&](size_t i, int) {
+    if (i % 3 == 0) sink.Push(i, static_cast<int>(i * 2));
+  });
+  auto items = sink.DrainSorted();
+  ASSERT_EQ(items.size(), (n + 2) / 3);
+  for (size_t k = 0; k < items.size(); ++k) {
+    ASSERT_EQ(items[k].first, k * 3);
+    ASSERT_EQ(items[k].second, static_cast<int>(k * 3 * 2));
+  }
+  EXPECT_TRUE(sink.DrainSorted().empty());  // Drained.
+}
+
+TEST(OrderedReduceTest, ConsumesInIndexOrderAtEveryThreadCountAndGrain) {
+  // The work-stealing schedule must never leak into the consume order: for
+  // 1/2/8 threads and a spread of grains, consume sees i = 0..n-1 exactly,
+  // in order, with the value produce(i) returned — i.e. the reduce is
+  // deterministic even though block completion order is not.
+  const size_t n = 403;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (size_t grain : {size_t{0}, size_t{1}, size_t{5}, size_t{64}, size_t{1000}}) {
+      std::vector<size_t> consumed;
+      consumed.reserve(n);
+      OrderedReduce<int64_t>(
+          &pool, n, grain,
+          [](size_t i, int) { return static_cast<int64_t>(i) * 3 + 1; },
+          [&consumed](size_t i, int64_t v) {
+            ASSERT_EQ(v, static_cast<int64_t>(i) * 3 + 1);
+            consumed.push_back(i);  // Safe: consume runs on this thread only.
+          });
+      ASSERT_EQ(consumed.size(), n) << "threads " << threads << " grain " << grain;
+      for (size_t i = 0; i < n; ++i) ASSERT_EQ(consumed[i], i);
+    }
+  }
+}
+
+TEST(OrderedReduceTest, ProducersMayUseThePoolThemselves) {
+  // produce() fans out again on the same pool (the discovery shape: one task
+  // per product, big products split inside). The nested work must not
+  // deadlock the streaming consumer.
+  ThreadPool pool(4);
+  const size_t n = 16;
+  int64_t total = 0;
+  OrderedReduce<int64_t>(
+      &pool, n, /*grain=*/1,
+      [&pool](size_t, int) {
+        std::atomic<int64_t> part{0};
+        pool.ParallelForGrained(100, /*grain=*/9,
+                                [&part](size_t j, int) {
+                                  part.fetch_add(static_cast<int64_t>(j));
+                                });
+        return part.load();
+      },
+      [&total](size_t, int64_t v) { total += v; });
+  EXPECT_EQ(total, static_cast<int64_t>(n) * (99 * 100 / 2));
 }
 
 TEST(MetricsTest, CountersGaugesTimers) {

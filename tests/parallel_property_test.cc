@@ -1,0 +1,110 @@
+// Property: discovery and cleaning outputs are byte-identical across every
+// thread count AND every dispatch grain. The task scheduler may interleave,
+// steal, and nest arbitrarily — grain knobs (validate_grain, beam_grain)
+// change only the task shapes — so any divergence here means scheduling
+// state leaked into results, which the ordered-reduce / sharded-sink /
+// pre-sized-slot discipline exists to prevent. Runs under TSan in CI.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clean/repair.h"
+#include "datagen/datagen.h"
+#include "discovery/fastofd.h"
+#include "ontology/synonym_index.h"
+
+namespace fastofd {
+namespace {
+
+GeneratedData MakeInstance(uint64_t seed, double error_rate,
+                           double incompleteness_rate) {
+  DataGenConfig cfg;
+  cfg.num_rows = 500;
+  cfg.num_antecedents = 3;
+  cfg.num_consequents = 3;
+  cfg.num_noise_attrs = 2;
+  cfg.num_senses = 4;
+  cfg.error_rate = error_rate;
+  cfg.incompleteness_rate = incompleteness_rate;
+  cfg.seed = seed;
+  return GenerateData(cfg);
+}
+
+struct GrainCase {
+  int threads;
+  int grain;
+};
+
+// Thread-count × grain sweep: serial reference, then coarse/fine/automatic
+// grains at 2 and 8 threads (8 > hardware concurrency on small runners —
+// oversubscription must not change output either).
+const GrainCase kCases[] = {
+    {2, 0}, {2, 1}, {2, 7}, {8, 0}, {8, 1}, {8, 3}, {8, 64},
+};
+
+TEST(ParallelPropertyTest, DiscoveryByteIdenticalAcrossThreadsAndGrains) {
+  for (uint64_t seed : {7u, 31u}) {
+    GeneratedData data = MakeInstance(seed, /*error_rate=*/0.02,
+                                      /*incompleteness_rate=*/0.05);
+    SynonymIndex index(data.ontology, data.rel.dict());
+    FastOfdConfig serial;
+    serial.num_threads = 1;
+    FastOfdResult reference = FastOfd(data.rel, index, serial).Discover();
+    ASSERT_FALSE(reference.ofds.empty());
+    for (const GrainCase& c : kCases) {
+      FastOfdConfig cfg;
+      cfg.num_threads = c.threads;
+      cfg.validate_grain = c.grain;
+      FastOfdResult got = FastOfd(data.rel, index, cfg).Discover();
+      const std::string label = "seed " + std::to_string(seed) + " threads " +
+                                std::to_string(c.threads) + " grain " +
+                                std::to_string(c.grain);
+      EXPECT_EQ(reference.ofds, got.ofds) << label;
+      EXPECT_EQ(reference.candidates_checked, got.candidates_checked) << label;
+      EXPECT_EQ(reference.values_scanned, got.values_scanned) << label;
+      EXPECT_EQ(reference.partition_products, got.partition_products) << label;
+    }
+  }
+}
+
+TEST(ParallelPropertyTest, CleanByteIdenticalAcrossThreadsAndGrains) {
+  for (uint64_t seed : {13u, 57u}) {
+    GeneratedData data = MakeInstance(seed, /*error_rate=*/0.06,
+                                      /*incompleteness_rate=*/0.1);
+    OfdCleanConfig serial;
+    serial.num_threads = 1;
+    OfdCleanResult reference =
+        OfdClean(data.rel, data.ontology, data.sigma, serial).Run();
+    for (const GrainCase& c : kCases) {
+      OfdCleanConfig cfg;
+      cfg.num_threads = c.threads;
+      cfg.beam_grain = c.grain;
+      OfdCleanResult got =
+          OfdClean(data.rel, data.ontology, data.sigma, cfg).Run();
+      const std::string label = "seed " + std::to_string(seed) + " threads " +
+                                std::to_string(c.threads) + " grain " +
+                                std::to_string(c.grain);
+      EXPECT_EQ(got.best.repaired.CellDistance(reference.best.repaired), 0)
+          << label;
+      EXPECT_EQ(reference.best.ontology_additions, got.best.ontology_additions)
+          << label;
+      EXPECT_EQ(reference.best.data_changes, got.best.data_changes) << label;
+      EXPECT_EQ(reference.best.consistent, got.best.consistent) << label;
+      EXPECT_EQ(reference.num_candidates, got.num_candidates) << label;
+      EXPECT_EQ(reference.nodes_evaluated, got.nodes_evaluated) << label;
+      ASSERT_EQ(reference.pareto.size(), got.pareto.size()) << label;
+      for (size_t i = 0; i < reference.pareto.size(); ++i) {
+        EXPECT_EQ(reference.pareto[i].ontology_changes,
+                  got.pareto[i].ontology_changes) << label;
+        EXPECT_EQ(reference.pareto[i].data_changes, got.pareto[i].data_changes)
+            << label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fastofd

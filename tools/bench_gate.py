@@ -10,7 +10,13 @@ output) against a committed baseline and fails when:
   * a `micro_partition` intersection op (product / refine / error) reports
     a flat-vs-legacy speedup below --speedup-min, or
   * a `clean_beam` row reports a full-vs-incremental node-scoring speedup
-    below --clean-speedup-min, or is not byte-identical across modes.
+    below --clean-speedup-min, or is not byte-identical across modes, or
+  * a thread-scaling floor is violated on capable hardware: at 8+ threads
+    the `ext_parallel` products-phase speedup (`products_x`) must reach
+    --ext-products-speedup-min and the `clean_threads` beam speedup must
+    reach --clean-threads-speedup-min — enforced only on rows whose `hw`
+    column (the producing machine's hardware concurrency) is >= the row's
+    thread count, since a smaller machine physically cannot scale there.
 
 Time-like columns (names containing "ms", "(s)", "seconds", or ending in
 "_s") are machine-dependent, so they get a generous relative tolerance with
@@ -18,9 +24,11 @@ an absolute slack floor for sub-millisecond cells: a cell passes if
     fresh <= base * (1 + rel_tol)   OR   fresh - base <= abs_slack.
 The speedup columns of `micro_partition` and `clean_beam` are same-process
 ratios and therefore machine-independent; they are gated hard, with no
-tolerance. The `identical` columns of the clean tables assert determinism
-(incremental + parallel search reproduces the serial full-rescore reference
-byte for byte) and must read "yes" everywhere.
+tolerance. The thread-scaling floors are also same-process ratios, but they
+additionally depend on physical core count, hence the hw >= threads
+condition. The `identical` columns (clean tables and `ext_parallel`) assert
+determinism — parallel search reproduces the serial reference byte for
+byte — and must read "yes" everywhere, on every machine.
 
 Usage:
     tools/bench_gate.py --baseline BENCH_core.json --fresh out/BENCH_core.json
@@ -55,7 +63,8 @@ def as_number(cell):
 
 
 def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min,
-                   clean_speedup_min=2.0):
+                   clean_speedup_min=2.0, ext_products_speedup_min=4.0,
+                   clean_threads_speedup_min=3.0):
     """Returns a list of human-readable failure strings (empty == pass)."""
     failures = []
     fresh_by_name = {t["bench"]: t for t in fresh}
@@ -99,6 +108,15 @@ def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min,
         if name in ("clean_beam", "clean_threads"):
             failures.extend(
                 check_clean_table(fresh_table, clean_speedup_min))
+        if name == "ext_parallel":
+            failures.extend(check_identical_rows(fresh_table))
+            failures.extend(check_scaling_floor(
+                fresh_table, "products_x", ext_products_speedup_min,
+                "products-phase speedup"))
+        if name == "clean_threads":
+            failures.extend(check_scaling_floor(
+                fresh_table, "speedup", clean_threads_speedup_min,
+                "beam thread-scaling speedup"))
     base_names = {t["bench"] for t in baseline}
     for extra in [n for n in fresh_by_name if n not in base_names]:
         print(f"note: fresh table {extra!r} has no committed baseline",
@@ -128,12 +146,63 @@ def check_micro_partition(table, speedup_min):
     return failures
 
 
+def check_identical_rows(table):
+    """Every row of a table with an `identical` column must read "yes":
+    determinism does not depend on the machine, so this is unconditional."""
+    failures = []
+    columns = table["columns"]
+    if "identical" not in columns:
+        print(f"note: {table['bench']} has no 'identical' column; "
+              "determinism check skipped (refresh the bench binary)",
+              file=sys.stderr)
+        return failures
+    identical_col = columns.index("identical")
+    for row in table["rows"]:
+        if row[identical_col] != "yes":
+            failures.append(
+                f"{table['bench']}: row {row[0]} is not byte-identical to "
+                f"the serial reference (identical={row[identical_col]!r})")
+    return failures
+
+
+def check_scaling_floor(table, value_col_name, floor, what):
+    """Hard gate for thread-scaling floors, conditioned on hardware: rows
+    with 8+ threads must reach `floor`, but only when the machine that
+    produced the run reports hw >= threads — a scaling ratio physically
+    cannot materialize on fewer cores than the sweep point uses (a
+    single-CPU runner measures pure overhead). Rows skipped here are still
+    covered by the unconditional identical checks."""
+    failures = []
+    columns = table["columns"]
+    if "hw" not in columns:
+        print(f"note: {table['bench']} has no 'hw' column; scaling floor "
+              "skipped (refresh the bench binary)", file=sys.stderr)
+        return failures
+    threads_col = columns.index("threads")
+    hw_col = columns.index("hw")
+    value_col = columns.index(value_col_name)
+    for row in table["rows"]:
+        threads = as_number(row[threads_col])
+        hw = as_number(row[hw_col])
+        if threads is None or threads < 8:
+            continue
+        if hw is None or hw < threads:
+            continue  # This machine cannot scale to this sweep point.
+        value = as_number(row[value_col])
+        if value is None or value < floor:
+            failures.append(
+                f"{table['bench']}: {what} at {int(threads)} threads is "
+                f"{row[value_col]} (gate requires >= {floor:g} when "
+                f"hw >= threads; hw={int(hw)})")
+    return failures
+
+
 def check_clean_table(table, clean_speedup_min):
     """Hard gates for the OFDClean beam-search tables: every row must be
     byte-identical to the serial full-rescore reference, and the `clean_beam`
     full-vs-incremental speedup (a same-process ratio) must meet the
-    minimum. The `clean_threads` speedup is machine-dependent (a single-CPU
-    runner cannot scale) and is deliberately not gated."""
+    minimum. The `clean_threads` speedup floor is enforced separately by
+    check_scaling_floor (it needs capable hardware, hw >= threads)."""
     failures = []
     name = table["bench"]
     columns = table["columns"]
@@ -160,7 +229,9 @@ def run_gate(args):
     with open(args.fresh) as f:
         fresh = json.load(f)
     failures = compare_tables(baseline, fresh, args.rel_tol, args.abs_slack,
-                              args.speedup_min, args.clean_speedup_min)
+                              args.speedup_min, args.clean_speedup_min,
+                              args.ext_products_speedup_min,
+                              args.clean_threads_speedup_min)
     if failures:
         print(f"bench gate FAILED ({len(failures)} problem(s)) comparing "
               f"{args.fresh} against {args.baseline}:")
@@ -187,14 +258,22 @@ def self_test():
                      "speedup", "identical"],
          "rows": [[10000, 450, 1380, 420.0, 150.0, 2.80, "yes"]]},
         {"bench": "clean_threads",
-         "columns": ["threads", "rows", "beam(ms)", "speedup", "identical"],
-         "rows": [[1, 10000, 150.0, 1.00, "yes"],
-                  [8, 10000, 160.0, 0.94, "yes"]]},
+         "columns": ["threads", "hw", "rows", "beam(ms)", "speedup",
+                     "identical"],
+         "rows": [[1, 16, 10000, 150.0, 1.00, "yes"],
+                  [8, 16, 10000, 45.0, 3.33, "yes"]]},
+        {"bench": "ext_parallel",
+         "columns": ["threads", "hw", "seconds", "speedup", "validate_s",
+                     "validate_x", "products_s", "products_x", "identical"],
+         "rows": [[1, 16, 0.80, 1.00, 0.10, 1.00, 0.70, 1.00, "yes"],
+                  [8, 16, 0.15, 5.33, 0.02, 5.00, 0.13, 5.38, "yes"]]},
     ]
 
     def gate(fresh):
         return compare_tables(baseline, fresh, rel_tol=0.5, abs_slack=0.25,
-                              speedup_min=2.0, clean_speedup_min=2.0)
+                              speedup_min=2.0, clean_speedup_min=2.0,
+                              ext_products_speedup_min=4.0,
+                              clean_threads_speedup_min=3.0)
 
     def clone(tables):
         return json.loads(json.dumps(tables))
@@ -230,20 +309,16 @@ def self_test():
     slow_build[0]["rows"][0][4] = 1.10  # build speedup < 2.0: allowed
     checks.append(("build op not speedup-gated", gate(slow_build) == []))
 
-    # 6. A clean_beam speedup below the minimum fails; the thread-scaling
-    #    speedup is not gated (a single-CPU runner cannot scale).
+    # 6. A clean_beam speedup below the minimum fails.
     slow_clean = clone(baseline)
     slow_clean[2]["rows"][0][5] = 1.40  # clean_beam speedup < 2.0
     failures = gate(slow_clean)
     checks.append(("clean_beam speedup below minimum fails",
                    len(failures) == 1 and "1.4" in failures[0]))
-    slow_threads = clone(baseline)
-    slow_threads[3]["rows"][1][3] = 0.50  # clean_threads speedup: allowed
-    checks.append(("clean_threads speedup not gated", gate(slow_threads) == []))
 
     # 7. A non-identical clean row fails, in either clean table.
     broken_identical = clone(baseline)
-    broken_identical[3]["rows"][1][4] = "NO"
+    broken_identical[3]["rows"][1][5] = "NO"
     failures = gate(broken_identical)
     checks.append(("non-identical clean row fails",
                    len(failures) == 1 and "byte-identical" in failures[0]))
@@ -260,6 +335,41 @@ def self_test():
     failures = gate(reshaped)
     checks.append(("row-count drift fails",
                    len(failures) == 1 and "refresh" in failures[0]))
+
+    # 10. Thread-scaling floors on capable hardware (hw >= threads): a
+    #     clean_threads beam speedup below 3.0 at 8 threads fails ...
+    flat_threads = clone(baseline)
+    flat_threads[3]["rows"][1][4] = 2.10  # speedup < 3.0, hw=16
+    failures = gate(flat_threads)
+    checks.append(("clean_threads floor enforced when hw >= threads",
+                   len(failures) == 1 and "beam thread-scaling" in failures[0]
+                   and "2.1" in failures[0]))
+    #     ... and an ext_parallel products-phase speedup below 4.0 fails.
+    flat_products = clone(baseline)
+    flat_products[4]["rows"][1][7] = 1.20  # products_x < 4.0, hw=16
+    failures = gate(flat_products)
+    checks.append(("ext_parallel products floor enforced when hw >= threads",
+                   len(failures) == 1 and "products-phase" in failures[0]
+                   and "1.2" in failures[0]))
+
+    # 11. The same flat ratios pass on a machine that cannot scale (hw <
+    #     threads, e.g. the single-CPU runner): the floor is hardware-
+    #     conditional, the identical checks still apply.
+    small_machine = clone(baseline)
+    for table in (small_machine[3], small_machine[4]):
+        for row in table["rows"]:
+            row[1] = 1  # hw = 1
+    small_machine[3]["rows"][1][4] = 0.81  # clean_threads speedup
+    small_machine[4]["rows"][1][7] = 0.98  # ext_parallel products_x
+    checks.append(("scaling floors skipped when hw < threads",
+                   gate(small_machine) == []))
+
+    # 12. A non-identical ext_parallel row fails on any machine.
+    broken_ext = clone(small_machine)
+    broken_ext[4]["rows"][1][8] = "NO"
+    failures = gate(broken_ext)
+    checks.append(("non-identical ext_parallel row fails",
+                   len(failures) == 1 and "byte-identical" in failures[0]))
 
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:
@@ -287,6 +397,14 @@ def main():
     parser.add_argument("--clean-speedup-min", type=float, default=2.0,
                         help="hard minimum for the clean_beam full-vs-"
                              "incremental node-scoring speedup (default 2.0)")
+    parser.add_argument("--ext-products-speedup-min", type=float, default=4.0,
+                        help="hard minimum for the ext_parallel products-"
+                             "phase speedup at 8+ threads when the run "
+                             "machine has hw >= threads (default 4.0)")
+    parser.add_argument("--clean-threads-speedup-min", type=float, default=3.0,
+                        help="hard minimum for the clean_threads beam "
+                             "speedup at 8+ threads when the run machine "
+                             "has hw >= threads (default 3.0)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in negative/positive tests")
     args = parser.parse_args()

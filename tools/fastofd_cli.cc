@@ -91,9 +91,12 @@ struct ExecContext {
     return mb <= 0 ? PartitionCache::kUnbounded : mb * (int64_t{1} << 20);
   }
 
-  /// Dumps the registry to stderr if --metrics was given.
-  void Report() const {
+  /// Dumps the registry to stderr if --metrics was given. Scheduler gauges
+  /// (exec.worker<NN>.executed/.stolen) are refreshed first, so a scaling
+  /// regression is diagnosable straight from --metrics=json output.
+  void Report() {
     if (metrics_mode.empty()) return;
+    pool.PublishMetrics(&metrics);
     std::string dump =
         metrics_mode == "json" ? metrics.ToJson() + "\n" : metrics.ToText();
     std::fputs(dump.c_str(), stderr);
