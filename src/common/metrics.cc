@@ -173,34 +173,34 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 void MetricsRegistry::Add(const std::string& name, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::Set(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
 void MetricsRegistry::AddTime(const std::string& name, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TimerStat& t = timers_[name];
   t.seconds += seconds;
   ++t.count;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_[name].Observe(value);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return MetricsSnapshot{counters_, gauges_, timers_, histograms_};
 }
 
 void MetricsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   timers_.clear();

@@ -8,8 +8,11 @@
 // counters through result structs. The result structs keep convenience
 // copies, filled from the registry at the end of a run.
 //
-// Thread-safe: a single mutex guards the maps. Hot loops should accumulate
-// locally (per-worker scratch) and flush once, as the discovery code does.
+// Thread-safe: a single annotated mutex guards the maps (common/sync.h —
+// the registry is a leaf lock: callers such as PartitionCache publish
+// gauges while holding their own locks, so nothing may block under mu_).
+// Hot loops should accumulate locally (per-worker scratch) and flush once,
+// as the discovery code does.
 
 #ifndef FASTOFD_COMMON_METRICS_H_
 #define FASTOFD_COMMON_METRICS_H_
@@ -17,9 +20,9 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/sync.h"
 #include "common/timer.h"
 
 namespace fastofd {
@@ -111,11 +114,11 @@ class MetricsRegistry {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, TimerStat> timers_;
-  std::map<std::string, HistogramStat> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, int64_t> counters_ GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, TimerStat> timers_ GUARDED_BY(mu_);
+  std::map<std::string, HistogramStat> histograms_ GUARDED_BY(mu_);
 };
 
 /// RAII wall-clock timer: records elapsed seconds into `registry` on

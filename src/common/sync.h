@@ -1,0 +1,174 @@
+// Annotated synchronization primitives: the only place in the repo allowed
+// to touch <mutex> / <condition_variable> directly (enforced by the
+// `raw-sync` rule in tools/lint.py).
+//
+// Every wrapper carries Clang Thread Safety Analysis attributes (Hutchins,
+// Ballman, Sutherland — "C/C++ Thread Safety Analysis", the capability
+// model behind abseil's annotated Mutex), so the *locking discipline* of a
+// class is part of its declaration instead of a comment:
+//
+//   Mutex mu_;
+//   std::deque<Task> tasks_ GUARDED_BY(mu_);   // access needs mu_ held
+//   void DrainLocked() REQUIRES(mu_);          // caller must hold mu_
+//   void Drain() EXCLUDES(mu_);                // caller must NOT hold mu_
+//
+// Clang builds (-Wthread-safety -Wthread-safety-beta, wired -Werror in
+// CMakeLists for Clang and gated by the thread-safety CI job) then reject
+// at compile time what TSan only catches when a schedule happens to
+// exercise it: unguarded reads of guarded state, calls into *Locked
+// helpers without the lock, self-deadlocks on non-recursive mutexes, and
+// (under -beta) ACQUIRED_AFTER lock-order inversions. On GCC and other
+// compilers every macro expands to nothing and the wrappers compile down
+// to the std primitives they hold.
+//
+// House conventions (see docs/static-analysis.md for the full list):
+//   * every mutex-protected member is GUARDED_BY its mutex — atomics that
+//     are deliberately read lock-free stay unannotated, with a comment
+//     saying which lock (if any) serializes the writes;
+//   * private helpers that assume the lock are named *Locked and annotated
+//     REQUIRES(mu_); public entry points that take the lock themselves are
+//     annotated EXCLUDES(mu_);
+//   * condition waits are written as explicit `while (!cond) cv_.Wait(mu_)`
+//     loops in REQUIRES-checked scope, never as predicate lambdas handed
+//     to a raw condition variable (the analysis cannot see into them);
+//   * lock order between *named* members is declared with ACQUIRED_AFTER;
+//     order across the elements of a mutex array (e.g. the ThreadPool's
+//     per-worker deque shards) is not expressible — such code must hold at
+//     most one element lock at a time, stated in a comment at the array.
+
+#ifndef FASTOFD_COMMON_SYNC_H_
+#define FASTOFD_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>  // lint:allow(raw-sync)
+#include <mutex>               // lint:allow(raw-sync)
+
+// --- Attribute macros ------------------------------------------------------
+// Exactly the set from the Clang Thread Safety Analysis documentation.
+// __has_attribute keeps them active for any compiler that implements the
+// capability attributes and makes them vanish everywhere else.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define FASTOFD_TSA_HAS(x) __has_attribute(x)
+#else
+#define FASTOFD_TSA_HAS(x) 0
+#endif
+
+#if FASTOFD_TSA_HAS(capability)
+#define FASTOFD_TSA(x) __attribute__((x))
+#else
+#define FASTOFD_TSA(x)
+#endif
+
+#define CAPABILITY(x) FASTOFD_TSA(capability(x))
+#define SCOPED_CAPABILITY FASTOFD_TSA(scoped_lockable)
+#define GUARDED_BY(x) FASTOFD_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) FASTOFD_TSA(pt_guarded_by(x))
+#define REQUIRES(...) FASTOFD_TSA(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) FASTOFD_TSA(locks_excluded(__VA_ARGS__))
+#define ACQUIRE(...) FASTOFD_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) FASTOFD_TSA(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) FASTOFD_TSA(try_acquire_capability(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) FASTOFD_TSA(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) FASTOFD_TSA(acquired_before(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) FASTOFD_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) FASTOFD_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS FASTOFD_TSA(no_thread_safety_analysis)
+
+namespace fastofd {
+
+class CondVar;
+
+/// A non-recursive mutual-exclusion capability. Prefer MutexLock scopes;
+/// call Lock/Unlock directly only where RAII cannot express the shape.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// Tells the analysis the calling thread holds this mutex when the proof
+  /// cannot be local (e.g. a lock taken by a caller across an opaque
+  /// boundary). Purely static; no runtime check.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint:allow(raw-sync)
+};
+
+/// RAII lock scope over a Mutex, relockable: Unlock()/Lock() may bracket a
+/// region that must run unlocked (the analysis tracks the state, so a
+/// guarded access inside the unlocked window is a compile error).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(&mu), held_(true) {
+    mu_->Lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases early (e.g. before a blocking call the lock must not cover).
+  void Unlock() RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+  /// Re-acquires after an early Unlock().
+  void Lock() ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+/// Condition variable bound to Mutex. Waits take the held Mutex itself
+/// (absl style) so the REQUIRES contract is visible at every wait site;
+/// the mutex is atomically released for the duration of the block and
+/// re-held on return, which the analysis treats as "still held" — correct,
+/// since guarded state may only be touched before/after, never during.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible — always wait in a
+  /// `while (!cond)` loop). The caller must hold `mu`.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);  // lint:allow(raw-sync)
+    cv_.wait(native);
+    // Ownership stays with the caller's MutexLock; wait() re-locked it.
+    native.release();
+  }
+
+  /// Wait with a timeout; returns false on timeout, true when notified.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);  // lint:allow(raw-sync)
+    bool notified = cv_.wait_for(native, timeout) == std::cv_status::no_timeout;
+    native.release();
+    return notified;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // lint:allow(raw-sync)
+};
+
+}  // namespace fastofd
+
+#endif  // FASTOFD_COMMON_SYNC_H_

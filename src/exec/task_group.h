@@ -33,11 +33,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/sync.h"
 #include "exec/thread_pool.h"
 
 namespace fastofd {
@@ -85,21 +85,29 @@ class ShardedSink {
 
   void Push(uint64_t seq, T value) {
     Stripe& s = stripes_[seq % num_stripes_];
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.items.emplace_back(seq, std::move(value));
   }
 
   /// Empties every stripe and returns the items sorted ascending by seq.
-  /// Not safe to call concurrently with Push.
+  /// Each stripe is drained under its lock, so overlapping with a straggler
+  /// Push is a data-race-free (if nondeterministic) snapshot — callers
+  /// should still quiesce producers (group.Wait()) first so the contents
+  /// are deterministic.
   std::vector<std::pair<uint64_t, T>> DrainSorted() {
     std::vector<std::pair<uint64_t, T>> out;
     size_t total = 0;
-    for (size_t s = 0; s < num_stripes_; ++s) total += stripes_[s].items.size();
+    for (size_t s = 0; s < num_stripes_; ++s) {
+      Stripe& st = stripes_[s];
+      MutexLock lock(st.mu);
+      total += st.items.size();
+    }
     out.reserve(total);
     for (size_t s = 0; s < num_stripes_; ++s) {
-      auto& items = stripes_[s].items;
-      std::move(items.begin(), items.end(), std::back_inserter(out));
-      items.clear();
+      Stripe& st = stripes_[s];
+      MutexLock lock(st.mu);
+      std::move(st.items.begin(), st.items.end(), std::back_inserter(out));
+      st.items.clear();
     }
     std::sort(out.begin(), out.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -107,9 +115,12 @@ class ShardedSink {
   }
 
  private:
+  // Lock-order contract: stripe locks are leaves — at most one is held at a
+  // time, and nothing is called under one (TSA cannot order elements of a
+  // mutex array; see src/common/sync.h).
   struct Stripe {
-    std::mutex mu;
-    std::vector<std::pair<uint64_t, T>> items;
+    Mutex mu;
+    std::vector<std::pair<uint64_t, T>> items GUARDED_BY(mu);
   };
   size_t num_stripes_;
   std::unique_ptr<Stripe[]> stripes_;

@@ -21,8 +21,7 @@ thread_local int tls_worker_id = -1;
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
-  const size_t shard_count = static_cast<size_t>(num_threads_) + 1;
-  shards_ = std::make_unique<Shard[]>(shard_count);
+  deques_ = std::make_unique<Shard[]>(static_cast<size_t>(num_threads_));
   executed_ = std::make_unique<std::atomic<int64_t>[]>(static_cast<size_t>(num_threads_));
   stolen_ = std::make_unique<std::atomic<int64_t>[]>(static_cast<size_t>(num_threads_));
   for (int w = 0; w < num_threads_; ++w) {
@@ -39,11 +38,11 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads))
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -53,26 +52,26 @@ int ThreadPool::current_worker() const {
 
 void ThreadPool::NotifyStateChange() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
 }
 
 void ThreadPool::WaitEpochChangeOr(uint64_t seen, const std::function<bool()>& ready) {
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  wake_cv_.wait(lock, [&] {
-    return stop_ || epoch_.load(std::memory_order_acquire) != seen || ready();
-  });
+  MutexLock lock(wake_mu_);
+  // Explicit loop (not a predicate lambda) so the guarded read of stop_ is
+  // in analysis-checked scope; ready() reads atomics only, per the header.
+  while (!stop_ && epoch_.load(std::memory_order_acquire) == seen && !ready()) {
+    wake_cv_.Wait(wake_mu_);
+  }
 }
 
 void ThreadPool::Enqueue(TaskGroup* group, std::function<void(int)> fn) {
-  const int self = current_worker();
-  const size_t shard = self >= 0 ? static_cast<size_t>(self)
-                                 : static_cast<size_t>(num_threads_);  // inject
   {
-    std::lock_guard<std::mutex> lock(shards_[shard].mu);
-    shards_[shard].tasks.push_back(Task{group, std::move(fn)});
+    Shard& home = HomeShard(current_worker());
+    MutexLock lock(home.mu);
+    home.tasks.push_back(Task{group, std::move(fn)});
   }
   NotifyStateChange();
 }
@@ -83,8 +82,8 @@ bool ThreadPool::TryGetTask(int self, const TaskGroup* only_group, Task* out) {
   // Own deque first, newest task first (LIFO): a nested wait finds the
   // subtasks it just pushed while they are still hot in cache.
   {
-    Shard& own = shards_[static_cast<size_t>(self)];
-    std::lock_guard<std::mutex> lock(own.mu);
+    Shard& own = deques_[static_cast<size_t>(self)];
+    MutexLock lock(own.mu);
     for (auto it = own.tasks.rbegin(); it != own.tasks.rend(); ++it) {
       if (only_group == nullptr || it->group == only_group) {
         *out = std::move(*it);
@@ -101,8 +100,8 @@ bool ThreadPool::TryGetTask(int self, const TaskGroup* only_group, Task* out) {
   // much the scheduler actually rebalanced.
   for (size_t off = 1; off < shard_count; ++off) {
     const size_t victim_index = (static_cast<size_t>(self) + off) % shard_count;
-    Shard& victim = shards_[victim_index];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    Shard& victim = ShardAt(victim_index);
+    MutexLock lock(victim.mu);
     for (auto it = victim.tasks.begin(); it != victim.tasks.end(); ++it) {
       if (only_group == nullptr || it->group == only_group) {
         *out = std::move(*it);
@@ -154,10 +153,10 @@ void ThreadPool::WorkerLoop(int worker) {
       ExecuteTask(task, worker);
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [&] {
-      return stop_ || epoch_.load(std::memory_order_acquire) != seen;
-    });
+    MutexLock lock(wake_mu_);
+    while (!stop_ && epoch_.load(std::memory_order_acquire) == seen) {
+      wake_cv_.Wait(wake_mu_);
+    }
     if (stop_) return;
   }
 }
@@ -207,6 +206,10 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::Stats() const {
 }
 
 void ThreadPool::PublishMetrics(MetricsRegistry* metrics) const {
+  // Safe to call while workers are executing: the per-worker counters are
+  // atomics (each worker is the sole writer of its slot), so the relaxed
+  // loads here are race-free snapshots — tested under TSan by
+  // PublishMetricsDuringExecution in tests/exec_test.cc.
   if (metrics == nullptr) return;
   metrics->Set("exec.workers", static_cast<double>(num_threads_));
   int64_t total_executed = 0;

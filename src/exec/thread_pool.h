@@ -41,15 +41,15 @@
 #define FASTOFD_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace fastofd {
 
@@ -117,8 +117,10 @@ class ThreadPool {
   uint64_t StateEpoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// Blocks until the epoch differs from `seen` or `ready()` holds (ready
-  /// is re-evaluated under the scheduler's wake lock).
-  void WaitEpochChangeOr(uint64_t seen, const std::function<bool()>& ready);
+  /// is re-evaluated under the scheduler's wake lock, so it must only read
+  /// atomics — it must not take locks or touch guarded state).
+  void WaitEpochChangeOr(uint64_t seen, const std::function<bool()>& ready)
+      EXCLUDES(wake_mu_);
 
   /// If the calling thread is a worker of this pool and a task belonging to
   /// `group` is available (own deque first, then steal), executes it and
@@ -133,37 +135,61 @@ class ThreadPool {
     TaskGroup* group = nullptr;
     std::function<void(int worker)> fn;
   };
-  // One deque per worker plus a trailing inject queue for submissions from
-  // threads the pool does not own. Each shard has its own mutex: the striping
-  // keeps submission and stealing lock-cheap.
+  // One deque per worker plus the inject queue for submissions from threads
+  // the pool does not own. Each shard has its own mutex: the striping keeps
+  // submission and stealing lock-cheap. Lock-order contract: a thread holds
+  // at most ONE shard mutex at a time (TSA cannot order the elements of a
+  // mutex array, so TryGetTask/Enqueue enforce this structurally — every
+  // shard lock is a self-contained scope), and never a shard mutex under
+  // wake_mu_ (see wake_mu_'s ACQUIRED_AFTER below).
   struct Shard {
-    std::mutex mu;
-    std::deque<Task> tasks;
+    Mutex mu;
+    std::deque<Task> tasks GUARDED_BY(mu);
   };
 
   // Enqueues a task (own deque for workers, inject queue otherwise) and
   // wakes sleepers. Called by TaskGroup::Submit after bumping its pending
   // count.
-  void Enqueue(TaskGroup* group, std::function<void(int)> fn);
+  void Enqueue(TaskGroup* group, std::function<void(int)> fn)
+      EXCLUDES(wake_mu_);
   // Pops a task: `self`'s own deque back first, then round-robin steals from
-  // other shards' fronts. With `only_group` set, skips tasks from other
-  // groups. Returns false when nothing eligible is queued.
+  // other shards' fronts (the inject queue last-but-one in rotation). With
+  // `only_group` set, skips tasks from other groups. Returns false when
+  // nothing eligible is queued.
   bool TryGetTask(int self, const TaskGroup* only_group, Task* out);
   // Runs the task, destroys its closure, then credits the owning group.
-  void ExecuteTask(Task& task, int worker);
-  void NotifyStateChange();
-  void WorkerLoop(int worker);
+  // The body may submit more work, so the wake lock must not be held.
+  void ExecuteTask(Task& task, int worker) EXCLUDES(wake_mu_);
+  void NotifyStateChange() EXCLUDES(wake_mu_);
+  void WorkerLoop(int worker) EXCLUDES(wake_mu_);
+  // The shard `self` submits to and pops from: its own deque for workers,
+  // the inject queue for external threads.
+  Shard& HomeShard(int self) {
+    return self >= 0 ? deques_[static_cast<size_t>(self)] : inject_;
+  }
+  // Victim rotation for stealing: indexes [0, num_threads_) are worker
+  // deques, index num_threads_ is the inject queue.
+  Shard& ShardAt(size_t index) {
+    return index == static_cast<size_t>(num_threads_)
+               ? inject_
+               : deques_[index];
+  }
 
   const int num_threads_;
   std::vector<std::thread> workers_;
-  std::unique_ptr<Shard[]> shards_;  // num_threads_ + 1; last is the inject queue.
+  std::unique_ptr<Shard[]> deques_;  // num_threads_ worker deques.
+  Shard inject_;                     // Submissions from external threads.
   std::unique_ptr<std::atomic<int64_t>[]> executed_;
   std::unique_ptr<std::atomic<int64_t>[]> stolen_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
+  // The sleep/wake protocol's lock. Innermost: taken only after every shard
+  // lock has been released (declared for the named inject_ shard; the array
+  // shards follow the same order by the structural rule above), and nothing
+  // blocks under it — WaitEpochChangeOr predicates read atomics only.
+  Mutex wake_mu_ ACQUIRED_AFTER(inject_.mu);
+  CondVar wake_cv_;
   std::atomic<uint64_t> epoch_{0};  // Written under wake_mu_; read lock-free.
-  bool stop_ = false;               // Guarded by wake_mu_.
+  bool stop_ GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace fastofd

@@ -510,7 +510,7 @@ PartitionCache::PartitionCache(const Relation& rel, int64_t budget_bytes,
     metrics_->Add("partition_cache.hits", 0);
     metrics_->Add("partition_cache.misses", 0);
     metrics_->Add("partition_cache.evictions", 0);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PublishGaugesLocked();
   }
 }
@@ -544,7 +544,7 @@ void PartitionCache::EvictToBudgetLocked(AttrSet keep) {
 
 std::shared_ptr<const StrippedPartition> PartitionCache::Get(AttrSet attrs) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(attrs);
     if (it != cache_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);  // Mark as MRU.
@@ -575,7 +575,7 @@ std::shared_ptr<const StrippedPartition> PartitionCache::Get(AttrSet attrs) {
   // clean, and the service's pinned antecedents.
   FASTOFD_AUDIT_OK(p->AuditInvariants(rel_, attrs));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = cache_.find(attrs);
   if (it != cache_.end()) return it->second.partition;  // Raced: keep theirs.
   if (cost > budget_bytes_) return p;  // Oversized: serve uncached.
@@ -589,7 +589,7 @@ std::shared_ptr<const StrippedPartition> PartitionCache::Get(AttrSet attrs) {
 }
 
 void PartitionCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.clear();
   lru_.clear();
   bytes_ = 0;
@@ -597,7 +597,7 @@ void PartitionCache::Clear() {
 }
 
 size_t PartitionCache::Invalidate(AttrSet touched) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t dropped = 0;
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first.Intersects(touched)) {
@@ -619,27 +619,27 @@ size_t PartitionCache::Invalidate(AttrSet touched) {
 }
 
 size_t PartitionCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_.size();
 }
 
 int64_t PartitionCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return bytes_;
 }
 
 int64_t PartitionCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 int64_t PartitionCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 int64_t PartitionCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
 }
 
@@ -686,7 +686,7 @@ Status PartitionCache::AuditInvariantsLocked() const {
 }
 
 Status PartitionCache::AuditInvariants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return AuditInvariantsLocked();
 }
 

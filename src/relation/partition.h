@@ -21,11 +21,11 @@
 #include <limits>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "relation/attr_set.h"
 #include "relation/relation.h"
 
@@ -342,8 +342,8 @@ class MetricsRegistry;  // common/metrics.h
 /// (StrippedPartition::AllocatedBytes), and the least-recently-used entries
 /// are evicted once the byte budget is exceeded. Get() returns a shared_ptr
 /// so a caller can keep using a partition after it has been evicted;
-/// re-fetching an evicted set simply recomputes it (a miss). Thread-safe: a
-/// mutex guards the map, and computation happens outside the lock.
+/// re-fetching an evicted set simply recomputes it (a miss). Thread-safe: an
+/// annotated mutex guards the map, and computation happens outside the lock.
 ///
 /// Hit/miss/eviction counts and the current byte footprint are recorded in
 /// an optional MetricsRegistry under `partition_cache.*`.
@@ -357,36 +357,37 @@ class PartitionCache {
 
   /// Returns the stripped partition for `attrs`, computing (and caching)
   /// it and any missing prefixes on demand. A partition whose footprint
-  /// alone exceeds the budget is returned but not retained.
-  std::shared_ptr<const StrippedPartition> Get(AttrSet attrs);
+  /// alone exceeds the budget is returned but not retained. Recursive for
+  /// prefixes, so the lock is never held across a nested Get.
+  std::shared_ptr<const StrippedPartition> Get(AttrSet attrs) EXCLUDES(mu_);
 
   /// Heap footprint of a stripped partition, in bytes: the object header
   /// plus the arena's allocated (capacity) bytes.
   static int64_t FootprintBytes(const StrippedPartition& p);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Drops every cached entry whose attribute set intersects `touched`;
   /// returns the number dropped. Called after cell updates mutate the
   /// relation so stale partitions are recomputed on next Get while
   /// partitions over untouched attributes stay warm.
-  size_t Invalidate(AttrSet touched);
+  size_t Invalidate(AttrSet touched) EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
   /// Current total footprint of the cached entries, in bytes.
-  int64_t bytes() const;
+  int64_t bytes() const EXCLUDES(mu_);
   int64_t budget_bytes() const { return budget_bytes_; }
 
-  int64_t hits() const;
-  int64_t misses() const;
-  int64_t evictions() const;
+  int64_t hits() const EXCLUDES(mu_);
+  int64_t misses() const EXCLUDES(mu_);
+  int64_t evictions() const EXCLUDES(mu_);
 
   /// Accounting audit (common/audit.h): the LRU list and map mirror each
   /// other exactly, every entry's charged bytes match a recomputed
   /// footprint, the byte total matches the sum over entries, and the budget
   /// is respected (one oversized sole entry excepted). Returns the first
   /// violation found.
-  Status AuditInvariants() const;
+  Status AuditInvariants() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -396,22 +397,24 @@ class PartitionCache {
   };
 
   // Evicts LRU entries (never `keep`) until the budget is respected.
-  // Requires mu_ held.
-  void EvictToBudgetLocked(AttrSet keep);
-  void PublishGaugesLocked();
-  Status AuditInvariantsLocked() const;
+  void EvictToBudgetLocked(AttrSet keep) REQUIRES(mu_);
+  void PublishGaugesLocked() REQUIRES(mu_);
+  Status AuditInvariantsLocked() const REQUIRES(mu_);
 
   const Relation& rel_;
   const int64_t budget_bytes_;
   MetricsRegistry* const metrics_;
 
-  mutable std::mutex mu_;
-  std::list<AttrSet> lru_;  // Front = most recently used.
-  std::unordered_map<AttrSet, Entry, AttrSetHash> cache_;
-  int64_t bytes_ = 0;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t evictions_ = 0;
+  // mu_ is held only around map/LRU bookkeeping; partition computation and
+  // nested Get calls run unlocked. The MetricsRegistry's internal lock is
+  // the one lock legitimately taken under mu_ (PublishGaugesLocked).
+  mutable Mutex mu_;
+  std::list<AttrSet> lru_ GUARDED_BY(mu_);  // Front = most recently used.
+  std::unordered_map<AttrSet, Entry, AttrSetHash> cache_ GUARDED_BY(mu_);
+  int64_t bytes_ GUARDED_BY(mu_) = 0;
+  int64_t hits_ GUARDED_BY(mu_) = 0;
+  int64_t misses_ GUARDED_BY(mu_) = 0;
+  int64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace fastofd

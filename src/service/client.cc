@@ -9,6 +9,8 @@
 #include <cstring>
 #include <utility>
 
+#include "service/net_util.h"
+
 namespace fastofd {
 
 ServiceClient::~ServiceClient() { Close(); }
@@ -47,7 +49,7 @@ Result<ServiceClient> ServiceClient::ConnectUnix(const std::string& path) {
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
-    return Status::Error("connect " + path + ": " + std::strerror(errno));
+    return Status::Error("connect " + path + ": " + ErrnoString(errno));
   }
   ServiceClient client;
   client.fd_ = fd;
@@ -64,7 +66,7 @@ Result<ServiceClient> ServiceClient::ConnectTcp(int port) {
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return Status::Error("connect 127.0.0.1:" + std::to_string(port) + ": " +
-                         std::strerror(errno));
+                         ErrnoString(errno));
   }
   ServiceClient client;
   client.fd_ = fd;

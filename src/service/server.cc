@@ -21,6 +21,7 @@
 #include "discovery/fastofd.h"
 #include "ofd/sigma_io.h"
 #include "ofd/verifier.h"
+#include "service/net_util.h"
 #include "service/protocol.h"
 
 namespace fastofd {
@@ -56,17 +57,17 @@ Json ErrResponse(const Json& request, int code, const std::string& message) {
 
 bool ServiceServer::Queue::Push(Request&& request) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_ || items_.size() >= depth_) return false;
     items_.push_back(std::move(request));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 bool ServiceServer::Queue::PopBatch(std::vector<Request>* out, int max_updates) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  MutexLock lock(mu_);
+  while (!closed_ && items_.empty()) cv_.Wait(mu_);
   if (items_.empty()) return false;  // Closed and drained.
   out->push_back(std::move(items_.front()));
   items_.pop_front();
@@ -85,14 +86,14 @@ bool ServiceServer::Queue::PopBatch(std::vector<Request>* out, int max_updates) 
 
 void ServiceServer::Queue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t ServiceServer::Queue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.size();
 }
 
@@ -121,11 +122,14 @@ ServiceServer::~ServiceServer() {
   for (int fd : shutdown_pipe_) {
     if (fd != -1) ::close(fd);
   }
+  // Still open when Start() failed between socket() and listen(): the
+  // listener thread (whose BeginDrain normally closes it) never spawned.
+  if (listen_fd_ != -1) ::close(listen_fd_);
 }
 
 Status ServiceServer::Start() {
   if (::pipe(shutdown_pipe_) != 0) {
-    return Status::Error("pipe: " + std::string(std::strerror(errno)));
+    return Status::Error("pipe: " + ErrnoString(errno));
   }
   if (!config_.unix_socket.empty()) {
     listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -140,7 +144,7 @@ Status ServiceServer::Start() {
     ::unlink(config_.unix_socket.c_str());
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       return Status::Error("bind " + config_.unix_socket + ": " +
-                           std::strerror(errno));
+                           ErrnoString(errno));
     }
   } else {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -153,7 +157,7 @@ Status ServiceServer::Start() {
     addr.sin_port = htons(static_cast<uint16_t>(config_.tcp_port));
     if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       return Status::Error("bind port " + std::to_string(config_.tcp_port) +
-                           ": " + std::strerror(errno));
+                           ": " + ErrnoString(errno));
     }
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
@@ -161,7 +165,7 @@ Status ServiceServer::Start() {
     port_ = ntohs(bound.sin_port);
   }
   if (::listen(listen_fd_, 64) != 0) {
-    return Status::Error("listen: " + std::string(std::strerror(errno)));
+    return Status::Error("listen: " + ErrnoString(errno));
   }
   listener_ = std::thread([this] { ListenerLoop(); });
   executor_ = std::thread([this] { ExecutorLoop(); });
@@ -183,15 +187,15 @@ void ServiceServer::Wait() {
   if (executor_.joinable()) executor_.join();
   // All responses are written; now tear down connections.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (auto& conn : conns_) {
-      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      MutexLock wlock(conn->write_mu);
       if (conn->fd != -1) ::shutdown(conn->fd, SHUT_RDWR);
     }
   }
   {
-    std::unique_lock<std::mutex> lock(conns_mu_);
-    readers_cv_.wait(lock, [&] { return readers_active_ == 0; });
+    MutexLock lock(conns_mu_);
+    while (readers_active_ != 0) readers_cv_.Wait(conns_mu_);
   }
   // Every reader has moved its handle to finished_readers_; join them all.
   ReapFinishedReaders();
@@ -224,10 +228,13 @@ void ServiceServer::ListenerLoop() {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     auto conn = std::make_shared<Connection>();
-    conn->fd = fd;
+    {
+      MutexLock wlock(conn->write_mu);
+      conn->fd = fd;
+    }
     ReapFinishedReaders();  // Connection churn must not accumulate handles.
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       conns_.push_back(conn);
       ++readers_active_;
       auto self = readers_.emplace(readers_.end());
@@ -241,7 +248,7 @@ void ServiceServer::ListenerLoop() {
 void ServiceServer::ReapFinishedReaders() {
   std::list<std::thread> finished;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     finished.swap(finished_readers_);
   }
   for (std::thread& reader : finished) reader.join();
@@ -251,8 +258,17 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn,
                                std::list<std::thread>::iterator self) {
   std::string buffer;
   char chunk[65536];
+  // Snapshot the fd once: this reader is the only thread that ever closes
+  // it (below, under write_mu), so the local cannot go stale — and the recv
+  // loop must not hold write_mu, or a blocked recv would wedge every writer.
+  // Wait() unblocks the recv with ::shutdown, not ::close.
+  int read_fd;
+  {
+    MutexLock wlock(conn->write_mu);
+    read_fd = conn->fd;
+  }
   for (;;) {
-    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    ssize_t n = ::recv(read_fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
@@ -297,13 +313,13 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn,
     buffer.erase(0, start);
   }
   {
-    std::lock_guard<std::mutex> wlock(conn->write_mu);
+    MutexLock wlock(conn->write_mu);
     if (conn->fd != -1) {
       ::close(conn->fd);
       conn->fd = -1;
     }
   }
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   // Drop our registry entry so a long-running daemon with connection churn
   // does not grow conns_ without bound. Queued responses still reach the
   // client through the shared_ptr each Request holds.
@@ -312,13 +328,13 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn,
   // deadlock); splicing keeps the handle alive until someone joins it.
   finished_readers_.splice(finished_readers_.end(), readers_, self);
   --readers_active_;
-  readers_cv_.notify_all();
+  readers_cv_.NotifyAll();
 }
 
 void ServiceServer::WriteResponse(Connection& conn, const Json& response) {
   std::string line = response.Dump();
   line.push_back('\n');
-  std::lock_guard<std::mutex> lock(conn.write_mu);
+  MutexLock lock(conn.write_mu);
   if (conn.fd == -1) return;  // Client already gone.
   size_t off = 0;
   while (off < line.size()) {

@@ -34,18 +34,17 @@
 #define FASTOFD_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "exec/thread_pool.h"
 #include "relation/partition.h"
 #include "service/json.h"
@@ -101,9 +100,15 @@ class ServiceServer {
   Json Execute(const Json& request);
 
  private:
+  // write_mu serializes writers and guards fd against the reader's close.
+  // Lock order: always taken *inside* conns_mu_ (Wait() iterates conns_
+  // under conns_mu_ and locks each write_mu nested) — not expressible as an
+  // attribute across classes, so stated here. The owning reader snapshots
+  // fd into a local for its recv loop: it is the only thread that ever
+  // closes the fd, so the snapshot cannot go stale under it.
   struct Connection {
-    int fd = -1;
-    std::mutex write_mu;
+    Mutex write_mu;
+    int fd GUARDED_BY(write_mu) = -1;
   };
 
   struct Request {
@@ -122,19 +127,19 @@ class ServiceServer {
     /// False when full or closed (caller responds 503). The request is only
     /// consumed on success; on rejection the caller's object is untouched so
     /// it can still build the error response (echoing the request id).
-    bool Push(Request&& request);
+    bool Push(Request&& request) EXCLUDES(mu_);
     /// Pops one request, or a run of consecutive same-session `update`
     /// requests (at most `max_updates`). False when closed and empty.
-    bool PopBatch(std::vector<Request>* out, int max_updates);
-    void Close();
-    size_t size() const;
+    bool PopBatch(std::vector<Request>* out, int max_updates) EXCLUDES(mu_);
+    void Close() EXCLUDES(mu_);
+    size_t size() const EXCLUDES(mu_);
 
    private:
     const size_t depth_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    std::deque<Request> items_;
-    bool closed_ = false;
+    mutable Mutex mu_;  // Leaf lock: nothing is acquired under it.
+    CondVar cv_;
+    std::deque<Request> items_ GUARDED_BY(mu_);
+    bool closed_ GUARDED_BY(mu_) = false;
   };
 
   void ListenerLoop();
@@ -175,6 +180,9 @@ class ServiceServer {
   SessionRegistry sessions_;
   Queue queue_;
 
+  // listen_fd_ is single-threaded by phase: written by Start() before any
+  // thread exists, then owned by the listener thread (ListenerLoop /
+  // BeginDrain), and read by the destructor only after every thread joined.
   int listen_fd_ = -1;
   int port_ = 0;
   int shutdown_pipe_[2] = {-1, -1};
@@ -184,14 +192,16 @@ class ServiceServer {
   std::thread listener_;
   std::thread executor_;
 
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Connection>> conns_;
+  // Guards the connection registry and reader-thread accounting. Lock order:
+  // conns_mu_ before any Connection::write_mu (see Connection above).
+  Mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_ GUARDED_BY(conns_mu_);
   // Reader threads are joined, never detached: live handles sit in readers_,
   // and each reader moves its own handle to finished_readers_ on exit.
-  std::list<std::thread> readers_;
-  std::list<std::thread> finished_readers_;
-  int readers_active_ = 0;
-  std::condition_variable readers_cv_;
+  std::list<std::thread> readers_ GUARDED_BY(conns_mu_);
+  std::list<std::thread> finished_readers_ GUARDED_BY(conns_mu_);
+  int readers_active_ GUARDED_BY(conns_mu_) = 0;
+  CondVar readers_cv_;
 
   bool started_ = false;
   bool joined_ = false;

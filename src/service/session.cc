@@ -78,7 +78,7 @@ Status Session::Audit() const {
 }
 
 Status SessionRegistry::Add(std::unique_ptr<Session> session) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string& name = session->name();
   if (sessions_.count(name) != 0) {
     return Status::Error("session '" + name + "' already exists");
@@ -88,7 +88,7 @@ Status SessionRegistry::Add(std::unique_ptr<Session> session) {
 }
 
 Status SessionRegistry::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (sessions_.erase(name) == 0) {
     return Status::Error("session '" + name + "' not found");
   }
@@ -96,13 +96,13 @@ Status SessionRegistry::Remove(const std::string& name) {
 }
 
 Session* SessionRegistry::Find(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sessions_.find(name);
   return it == sessions_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> SessionRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(sessions_.size());
   for (const auto& [name, _] : sessions_) names.push_back(name);
@@ -110,12 +110,12 @@ std::vector<std::string> SessionRegistry::Names() const {
 }
 
 size_t SessionRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
 Status SessionRegistry::AuditInvariants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, session] : sessions_) {
     if (session == nullptr) {
       return audit::internal::Counted(

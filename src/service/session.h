@@ -13,12 +13,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "ofd/incremental.h"
 #include "ofd/ofd.h"
 #include "ontology/ontology.h"
@@ -95,25 +95,28 @@ class Session {
 class SessionRegistry {
  public:
   /// Fails with "exists" if the name is taken.
-  Status Add(std::unique_ptr<Session> session);
+  Status Add(std::unique_ptr<Session> session) EXCLUDES(mu_);
 
   /// Fails with "not found" if absent.
-  Status Remove(const std::string& name);
+  Status Remove(const std::string& name) EXCLUDES(mu_);
 
   /// Nullptr when absent.
-  Session* Find(const std::string& name);
+  Session* Find(const std::string& name) EXCLUDES(mu_);
 
-  std::vector<std::string> Names() const;
-  size_t size() const;
+  std::vector<std::string> Names() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
 
   /// Deep invariant audit (common/audit.h): every registered session is
   /// non-null, keyed by its own name, and passes Session::Audit. Returns
   /// the first violation found.
-  Status AuditInvariants() const;
+  Status AuditInvariants() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Session>> sessions_;
+  // Lock order: mu_ is held across Session::Audit in AuditInvariants, so it
+  // sits outside each session's PartitionCache::mu_ (which in turn sits
+  // outside the MetricsRegistry lock).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_ GUARDED_BY(mu_);
 };
 
 }  // namespace fastofd

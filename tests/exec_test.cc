@@ -152,6 +152,62 @@ TEST(ThreadPoolTest, StatsCountExecutedTasksAndPublishGauges) {
   pool.PublishMetrics(nullptr);  // No-op, no crash.
 }
 
+TEST(ThreadPoolTest, PublishMetricsDuringExecution) {
+  // PublishMetrics and Stats read the per-worker counters while workers are
+  // actively bumping them. The counters are relaxed atomics (monotonic, no
+  // cross-counter invariant), so concurrent snapshots must be race-free —
+  // this is the TSan regression for that contract.
+  ThreadPool pool(4);
+  MetricsRegistry reg;
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      pool.PublishMetrics(&reg);
+      int64_t executed = 0;
+      for (const ThreadPool::WorkerStats& w : pool.Stats()) {
+        executed += w.executed;
+        EXPECT_GE(w.executed, 0);
+        EXPECT_GE(w.stolen, 0);
+      }
+      EXPECT_GE(executed, 0);
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelForGrained(256, /*grain=*/8,
+                            [&](size_t i, int) { sum.fetch_add(i); });
+  }
+  done.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(sum.load(), 50 * (256 * 255 / 2));
+  // A final quiescent snapshot agrees with itself.
+  pool.PublishMetrics(&reg);
+  MetricsSnapshot s = reg.Snapshot();
+  int64_t executed = 0;
+  for (const ThreadPool::WorkerStats& w : pool.Stats()) executed += w.executed;
+  EXPECT_DOUBLE_EQ(s.gauges.at("exec.tasks_executed"),
+                   static_cast<double>(executed));
+}
+
+TEST(TaskGroupTest, WaitWithZeroPendingTasks) {
+  // Wait on a group that never received a task must return immediately (no
+  // lost-wakeup hang) at every pool width, and stay idempotent.
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    TaskGroup group(&pool);
+    group.Wait();
+    group.Wait();  // Double Wait on an empty group.
+    // The group is still usable after the empty Waits.
+    std::atomic<int> ran{0};
+    group.Submit([&ran](int) { ran.fetch_add(1); });
+    group.Wait();
+    EXPECT_EQ(ran.load(), 1) << "threads " << threads;
+    group.Wait();  // And idempotent again once drained.
+    EXPECT_EQ(ran.load(), 1);
+  }
+}
+
 TEST(TaskGroupTest, SubmitFromExternalThreadRunsEverything) {
   for (int threads : {1, 2, 8}) {
     ThreadPool pool(threads);

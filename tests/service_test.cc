@@ -2,6 +2,8 @@
 // request core, and the full socket path (admission control, deadlines,
 // micro-batching, graceful drain).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -495,6 +497,51 @@ TEST_F(ServiceSocketTest, GracefulDrainAnswersEveryAcceptedRequest) {
   EXPECT_EQ(responses, 1 + kPings);
   server_->Wait();
   server_.reset();
+}
+
+TEST_F(ServiceSocketTest, DestructionRacesInFlightReaders) {
+  // Clients keep writing while the server shuts down and is destroyed. The
+  // reader threads are mid-recv on live sockets when NotifyShutdown lands, so
+  // Wait() must join them without racing the Connection teardown (the fd is
+  // GUARDED_BY(write_mu) and snapshotted by the reader; this is the TSan
+  // regression for that handoff).
+  ServerConfig config;
+  config.threads = 2;
+  StartServer(config);
+
+  constexpr int kClients = 4;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  std::atomic<int> connected{0};
+  writers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    writers.emplace_back([&, c] {
+      auto client = ServiceClient::ConnectTcp(server_->port());
+      if (!client.ok()) return;
+      connected.fetch_add(1);
+      int64_t id = c * 1000;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Sends start failing once the server drains; that is the point —
+        // the write must fail cleanly, never crash or race the dtor.
+        if (!client.value().Send(Req(ops::kPing, ++id)).ok()) break;
+        auto resp = client.value().ReadResponse();
+        if (!resp.ok()) break;
+      }
+    });
+  }
+  // Let the connections get established and traffic flow before pulling the
+  // rug. A few may fail to connect if the listener is slow; proceed anyway.
+  for (int spin = 0; spin < 200 && connected.load() < kClients; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  server_->NotifyShutdown();
+  server_->Wait();
+  server_.reset();  // Full destruction while writers are still trying.
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : writers) t.join();
 }
 
 TEST_F(ServiceSocketTest, UnixSocketServesRequests) {

@@ -22,9 +22,28 @@ in a trailing comment):
                       project includes are sorted and come after system
                       includes; a .cc file's first include is its own
                       header.
+  raw-sync            std::mutex/lock_guard/unique_lock/condition_variable
+                      (and friends, plus their headers) are banned outside
+                      src/common/sync.h. Use the annotated Mutex/MutexLock/
+                      CondVar wrappers so Clang Thread Safety Analysis sees
+                      every lock.
+  dangling-capture    A by-reference lambda ([&...]) handed to Submit() in
+                      non-test code must be joined by a same-scope Wait()
+                      before the captures' scope closes — otherwise the
+                      task can outlive what it captured.
+  wait-under-lock     TaskGroup::Wait()/ParallelFor*/OrderedReduce while a
+                      MutexLock is live in an enclosing scope: the caller
+                      may help-execute arbitrary queued tasks, and any of
+                      them taking the held lock deadlocks. (CondVar waits
+                      release their mutex and are fine.)
 
-Usage: tools/lint.py [paths...]   (defaults to src tools tests bench fuzz
-                                   examples)
+Usage: tools/lint.py [--self-test] [--fix-dry-run] [paths...]
+                                  (paths default to src tools tests bench
+                                   fuzz examples)
+  --self-test     run the built-in positive/negative cases for the
+                  concurrency rules and exit
+  --fix-dry-run   after each finding, also print the offending source line
+                  (anchored file:line) so fixes can be applied by hand
 Exit code 0 = clean, 1 = findings, 2 = usage/internal error.
 """
 
@@ -54,6 +73,29 @@ ALLOW_RE = re.compile(r"lint:allow\(([a-z-]+)\)")
 # Files allowed to use raw numeric parsing: the checked helpers themselves.
 RAW_PARSE_ALLOWED = {os.path.join("src", "common", "parse.h")}
 
+RAW_SYNC_TYPE_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+RAW_SYNC_INCLUDE_RE = re.compile(
+    r"^#include\s+<(?:mutex|condition_variable|shared_mutex)>"
+)
+# The annotated wrappers themselves: the one place raw primitives may live.
+RAW_SYNC_ALLOWED = {os.path.join("src", "common", "sync.h")}
+
+SUBMIT_REF_CAPTURE_RE = re.compile(r"\bSubmit\s*\(\s*\[\s*&")
+WAIT_CALL_RE = re.compile(r"\.\s*Wait\s*\(\s*\)")
+# Calls that may help-execute arbitrary queued tasks on the calling thread.
+BLOCKING_EXEC_RE = re.compile(
+    r"\.\s*Wait\s*\(\s*\)|\bParallelForGrained\s*\(|\bParallelFor\s*\(|"
+    r"\bOrderedReduce\s*\("
+)
+MUTEX_LOCK_DECL_RE = re.compile(r"\bMutexLock\s+\w+\s*\(")
+UNLOCK_CALL_RE = re.compile(r"\.\s*Unlock\s*\(\s*\)")
+STRING_LIT_RE = re.compile(r'"(?:\\.|[^"\\])*"')
+CHAR_LIT_RE = re.compile(r"'(?:\\.|[^'\\])*'")
+
 
 def allowed(line, rule):
     m = ALLOW_RE.search(line)
@@ -63,6 +105,25 @@ def allowed(line, rule):
 def is_comment(line):
     stripped = line.lstrip()
     return stripped.startswith("//") or stripped.startswith("*")
+
+
+def code_text(line):
+    """The line with string/char literals emptied and // comments dropped,
+    so brace counting and keyword matching ignore quoted text."""
+    line = CHAR_LIT_RE.sub("''", STRING_LIT_RE.sub('""', line))
+    cut = line.find("//")
+    return line[:cut] if cut != -1 else line
+
+
+def line_depths(lines):
+    """Brace-nesting depth *before* each line (index-aligned with lines)."""
+    depths = []
+    depth = 0
+    for line in lines:
+        depths.append(depth)
+        text = code_text(line)
+        depth = max(0, depth + text.count("{") - text.count("}"))
+    return depths
 
 
 def lint_file(path, findings):
@@ -77,6 +138,9 @@ def lint_file(path, findings):
     check_raw_parse(rel, lines, findings)
     check_narrow_casts(rel, lines, findings)
     check_detach(rel, lines, findings)
+    check_raw_sync(rel, lines, findings)
+    check_dangling_capture(rel, lines, findings)
+    check_wait_under_lock(rel, lines, findings)
     check_includes(rel, lines, findings)
     if rel.endswith(".h") and rel.startswith("src" + os.sep):
         check_header_guard(rel, lines, findings)
@@ -135,6 +199,81 @@ def check_nodiscard(rel, lines, findings):
                  f"expected `{cls}`: the attribute is what makes dropped "
                  "Status values a compile error")
             )
+
+
+def check_raw_sync(rel, lines, findings):
+    if rel in RAW_SYNC_ALLOWED:
+        return
+    for i, line in enumerate(lines, 1):
+        if is_comment(line) or allowed(line, "raw-sync"):
+            continue
+        if RAW_SYNC_INCLUDE_RE.match(line) or RAW_SYNC_TYPE_RE.search(
+                code_text(line)):
+            findings.append(
+                (rel, i, "raw-sync",
+                 "raw std synchronization primitive; use the annotated "
+                 "Mutex/MutexLock/CondVar wrappers from common/sync.h so "
+                 "thread-safety analysis sees the lock")
+            )
+
+
+def check_dangling_capture(rel, lines, findings):
+    # Test code routinely submits-and-waits inside one test body; the rule
+    # targets library/tool code where a submitted task can escape its scope.
+    if rel.startswith("tests" + os.sep):
+        return
+    depths = line_depths(lines)
+    for i, line in enumerate(lines, 1):
+        if is_comment(line) or allowed(line, "dangling-capture"):
+            continue
+        if not SUBMIT_REF_CAPTURE_RE.search(code_text(line)):
+            continue
+        d0 = depths[i - 1]
+        # The group (and the captured locals) live at or below d0; once the
+        # depth drops below d0 - 1 the surrounding scope has closed without
+        # a join.
+        floor = max(1, d0 - 1)
+        joined = False
+        for j in range(i, len(lines)):
+            if depths[j] < floor:
+                break
+            if depths[j] <= d0 and WAIT_CALL_RE.search(code_text(lines[j])):
+                joined = True
+                break
+        if not joined:
+            findings.append(
+                (rel, i, "dangling-capture",
+                 "by-reference capture submitted to the pool without a "
+                 "same-scope Wait(); the task can outlive its captures")
+            )
+
+
+def check_wait_under_lock(rel, lines, findings):
+    depth = 0
+    active = []  # [(decl_depth, decl_line), ...] innermost last
+    for i, line in enumerate(lines, 1):
+        text = code_text(line)
+        if not is_comment(line):
+            if (active and BLOCKING_EXEC_RE.search(text)
+                    and not allowed(line, "wait-under-lock")):
+                findings.append(
+                    (rel, i, "wait-under-lock",
+                     "blocking task execution (Wait/ParallelFor/"
+                     "OrderedReduce) while the MutexLock from line "
+                     f"{active[-1][1]} is held; a help-executed task taking "
+                     "that lock deadlocks")
+                )
+            if active and UNLOCK_CALL_RE.search(text):
+                active.pop()
+            m = MUTEX_LOCK_DECL_RE.search(text)
+            if m:
+                prefix = text[:m.start()]
+                decl_depth = max(
+                    0, depth + prefix.count("{") - prefix.count("}"))
+                active.append((decl_depth, i))
+        depth = max(0, depth + text.count("{") - text.count("}"))
+        while active and depth < active[-1][0]:
+            active.pop()
 
 
 def expected_guard(rel):
@@ -223,8 +362,154 @@ def check_includes(rel, lines, findings):
                 break
 
 
+# (description, synthetic path, source, expected rule names). Each
+# concurrency rule gets at least one positive, one negative, and one
+# suppression/exemption case; keep these in sync with the rule docstrings.
+SELF_TESTS = [
+    # --- raw-sync ---
+    ("raw-sync: std::mutex member", "src/foo/a.h",
+     "class A {\n  std::mutex mu_;\n};\n",
+     ["raw-sync"]),
+    ("raw-sync: lock_guard use", "src/foo/a.cc",
+     "void F() {\n  std::lock_guard<std::mutex> lock(mu_);\n}\n",
+     ["raw-sync"]),
+    ("raw-sync: banned include", "src/foo/a.cc",
+     "#include <condition_variable>\n",
+     ["raw-sync"]),
+    ("raw-sync: annotated wrappers pass", "src/foo/a.cc",
+     "void F() {\n  MutexLock lock(mu_);\n  items_.clear();\n}\n",
+     []),
+    ("raw-sync: sync.h itself is exempt",
+     os.path.join("src", "common", "sync.h"),
+     "class Mutex {\n  std::mutex mu_;\n};\n",
+     []),
+    ("raw-sync: lint:allow suppression", "src/foo/a.cc",
+     "std::mutex mu_;  // lint:allow(raw-sync)\n",
+     []),
+    ("raw-sync: name in comment passes", "src/foo/a.cc",
+     "// std::mutex is banned here\nMutex mu_;\n",
+     []),
+    # --- dangling-capture ---
+    ("dangling-capture: submit without wait", "src/foo/a.cc",
+     "void F(ThreadPool* pool) {\n"
+     "  int local = 0;\n"
+     "  TaskGroup group(pool);\n"
+     "  group.Submit([&local](int w) { local += w; });\n"
+     "}\n",
+     ["dangling-capture"]),
+    ("dangling-capture: same-scope wait passes", "src/foo/a.cc",
+     "void F(ThreadPool* pool) {\n"
+     "  int local = 0;\n"
+     "  TaskGroup group(pool);\n"
+     "  group.Submit([&local](int w) { local += w; });\n"
+     "  group.Wait();\n"
+     "}\n",
+     []),
+    ("dangling-capture: wait after submit loop passes", "src/foo/a.cc",
+     "void F(ThreadPool* pool, size_t n) {\n"
+     "  TaskGroup group(pool);\n"
+     "  for (size_t b = 0; b < n; ++b) {\n"
+     "    group.Submit([&n, b](int) { Use(n, b); });\n"
+     "  }\n"
+     "  group.Wait();\n"
+     "}\n",
+     []),
+    ("dangling-capture: by-value capture passes", "src/foo/a.cc",
+     "void F(ThreadPool* pool) {\n"
+     "  TaskGroup group(pool);\n"
+     "  group.Submit([n](int w) { Use(n, w); });\n"
+     "}\n",
+     []),
+    ("dangling-capture: test code is exempt",
+     os.path.join("tests", "a_test.cc"),
+     "void F(ThreadPool* pool) {\n"
+     "  TaskGroup group(pool);\n"
+     "  group.Submit([&](int w) { Use(w); });\n"
+     "}\n",
+     []),
+    ("dangling-capture: lint:allow suppression", "src/foo/a.cc",
+     "void F(ThreadPool* pool) {\n"
+     "  TaskGroup group(pool);\n"
+     "  group.Submit([&](int w) { Use(w); });  // lint:allow(dangling-capture)\n"
+     "}\n",
+     []),
+    # --- wait-under-lock ---
+    ("wait-under-lock: group wait under lock", "src/foo/a.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  group.Wait();\n"
+     "}\n",
+     ["wait-under-lock"]),
+    ("wait-under-lock: ParallelFor under lock", "src/foo/a.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  pool_.ParallelFor(n, [](size_t, int) {});\n"
+     "}\n",
+     ["wait-under-lock"]),
+    ("wait-under-lock: lock scope closed passes", "src/foo/a.cc",
+     "void F() {\n"
+     "  {\n"
+     "    MutexLock lock(mu_);\n"
+     "    items_.clear();\n"
+     "  }\n"
+     "  group.Wait();\n"
+     "}\n",
+     []),
+    ("wait-under-lock: early Unlock passes", "src/foo/a.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  lock.Unlock();\n"
+     "  group.Wait();\n"
+     "}\n",
+     []),
+    ("wait-under-lock: condvar wait has args, passes", "src/foo/a.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  while (!ready_) cv_.Wait(mu_);\n"
+     "}\n",
+     []),
+    ("wait-under-lock: next function not poisoned", "src/foo/a.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  items_.clear();\n"
+     "}\n"
+     "void G() {\n"
+     "  group.Wait();\n"
+     "}\n",
+     []),
+    ("wait-under-lock: lint:allow suppression", "src/foo/a.cc",
+     "void F() {\n"
+     "  MutexLock lock(mu_);\n"
+     "  group.Wait();  // lint:allow(wait-under-lock)\n"
+     "}\n",
+     []),
+]
+
+
+def run_self_test():
+    failures = 0
+    for desc, rel, source, expected in SELF_TESTS:
+        findings = []
+        lines = source.splitlines()
+        check_raw_sync(rel, lines, findings)
+        check_dangling_capture(rel, lines, findings)
+        check_wait_under_lock(rel, lines, findings)
+        got = sorted({rule for _, _, rule, _ in findings})
+        want = sorted(set(expected))
+        if got != want:
+            print(f"self-test FAIL: {desc}: expected {want}, got {got}")
+            failures += 1
+    print(f"lint.py --self-test: {len(SELF_TESTS)} cases, "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
 def main(argv):
-    roots = argv[1:] or DEFAULT_ROOTS
+    args = argv[1:]
+    if "--self-test" in args:
+        return run_self_test()
+    fix_dry_run = "--fix-dry-run" in args
+    roots = [a for a in args if a != "--fix-dry-run"] or DEFAULT_ROOTS
     files = []
     for root in roots:
         if os.path.isfile(root):
@@ -239,11 +524,22 @@ def main(argv):
         return 2
 
     findings = []
+    file_lines = {}
     for path in sorted(files):
         lint_file(path, findings)
+        if fix_dry_run:
+            try:
+                with open(path, encoding="utf-8") as f:
+                    file_lines[os.path.relpath(path)] = f.read().splitlines()
+            except (OSError, UnicodeDecodeError):
+                pass
 
     for rel, line, rule, msg in findings:
         print(f"{rel}:{line}: [{rule}] {msg}")
+        if fix_dry_run:
+            src = file_lines.get(rel, [])
+            if 0 < line <= len(src):
+                print(f"  {rel}:{line} | {src[line - 1].strip()}")
     print(f"lint.py: {len(files)} files, {len(findings)} finding(s)")
     return 1 if findings else 0
 
