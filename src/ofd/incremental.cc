@@ -119,8 +119,8 @@ Status IncrementalVerifier::AuditState() const {
       }
     }
   }
-  if (total_counted != total_violating_) {
-    return IncAuditError("total_violating " + std::to_string(total_violating_) +
+  if (total_counted != total_violating()) {
+    return IncAuditError("total_violating " + std::to_string(total_violating()) +
                          " != sum over OFDs " + std::to_string(total_counted));
   }
   return audit::internal::Counted(Status::Ok());
@@ -167,7 +167,7 @@ void IncrementalVerifier::SetCounted(OfdState& state, Group& group, bool counted
   if (group.counted == counted) return;
   group.counted = counted;
   state.violating += counted ? 1 : -1;
-  total_violating_ += counted ? 1 : -1;
+  total_violating_.fetch_add(counted ? 1 : -1, std::memory_order_relaxed);
 }
 
 void IncrementalVerifier::RefreshGroup(OfdState& state, const Ofd& ofd, int32_t g) {
@@ -176,7 +176,7 @@ void IncrementalVerifier::RefreshGroup(OfdState& state, const Ofd& ofd, int32_t 
     group.ok = true;  // Singletons (and empty groups) cannot violate.
   } else {
     group.ok = verifier_.HoldsInClass(group.rows, ofd.rhs, ofd.kind);
-    ++classes_rechecked_;
+    classes_rechecked_.fetch_add(1, std::memory_order_relaxed);
   }
   SetCounted(state, group, group.rows.size() >= 2 && !group.ok);
 }

@@ -16,6 +16,7 @@
 #ifndef FASTOFD_OFD_INCREMENTAL_H_
 #define FASTOFD_OFD_INCREMENTAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -37,7 +38,7 @@ class IncrementalVerifier {
   IncrementalVerifier(Relation* rel, const SynonymIndex& index, SigmaSet sigma);
 
   /// True iff every OFD in Σ is satisfied.
-  bool IsConsistent() const { return total_violating_ == 0; }
+  bool IsConsistent() const { return total_violating() == 0; }
 
   /// True iff Σ[ofd_index] is satisfied.
   bool Holds(size_t ofd_index) const {
@@ -49,8 +50,13 @@ class IncrementalVerifier {
     return states_[ofd_index].violating;
   }
 
-  /// Total violating classes across Σ.
-  int total_violating() const { return total_violating_; }
+  /// Total violating classes across Σ. Safe to read lock-free (relaxed
+  /// atomic): the service's `list`/`stats` ops sample it while an exclusive
+  /// writer on another executor shard may be mid-update, so the value is a
+  /// point-in-time snapshot, not a fence.
+  int total_violating() const {
+    return total_violating_.load(std::memory_order_relaxed);
+  }
 
   /// Applies rel->SetId(row, attr, value) and re-checks only the classes
   /// containing `row`: for OFDs with consequent `attr` the row's class, for
@@ -59,8 +65,11 @@ class IncrementalVerifier {
   void UpdateCell(RowId row, AttrId attr, ValueId value);
 
   /// Classes re-checked since construction (the work a full re-verification
-  /// would multiply by the class count).
-  int64_t classes_rechecked() const { return classes_rechecked_; }
+  /// would multiply by the class count). Lock-free snapshot, like
+  /// total_violating().
+  int64_t classes_rechecked() const {
+    return classes_rechecked_.load(std::memory_order_relaxed);
+  }
 
   const SigmaSet& sigma() const { return sigma_; }
 
@@ -122,8 +131,11 @@ class IncrementalVerifier {
   SigmaSet sigma_;
   OfdVerifier verifier_;
   std::vector<OfdState> states_;
-  int total_violating_ = 0;
-  int64_t classes_rechecked_ = 0;
+  // Atomic only so concurrent `list`/`stats` snapshots are race-free; all
+  // *writes* stay serialized by the service's per-session write exclusivity
+  // (UpdateCell is never concurrent with itself on one session).
+  std::atomic<int> total_violating_{0};
+  std::atomic<int64_t> classes_rechecked_{0};
 };
 
 }  // namespace fastofd

@@ -26,9 +26,12 @@ class ServiceClient {
   ServiceClient(ServiceClient&& other) noexcept;
   ServiceClient& operator=(ServiceClient&& other) noexcept;
 
-  /// Sends one request line and blocks for the next response line.
-  /// Responses arrive in request order (the service executor is FIFO), so
-  /// the next line always answers the oldest outstanding request.
+  /// Sends one request line and blocks for the next response line. Safe
+  /// with a single outstanding request (the next line must answer it), but
+  /// pipelining clients should match responses to requests by `id`: the
+  /// sharded executor preserves per-session FIFO for mutating ops, while
+  /// rejections, shed 503s, and concurrent snapshot reads (verify/discover)
+  /// may complete out of order relative to other outstanding requests.
   Result<Json> Call(const Json& request);
 
   /// Sends a request without waiting for the response (fire-and-forget

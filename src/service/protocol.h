@@ -13,6 +13,8 @@
 #ifndef FASTOFD_SERVICE_PROTOCOL_H_
 #define FASTOFD_SERVICE_PROTOCOL_H_
 
+#include <string>
+
 namespace fastofd {
 
 /// HTTP-flavoured error codes carried in failure responses.
@@ -20,8 +22,11 @@ enum ServiceCode {
   kCodeBadRequest = 400,       // Malformed JSON / missing or invalid fields.
   kCodeNotFound = 404,         // Unknown session or attribute name.
   kCodeConflict = 409,         // Session name already loaded.
-  kCodeOverloaded = 503,       // Request queue full, or server draining.
-  kCodeDeadlineExceeded = 504, // Deadline elapsed while queued.
+  kCodeOverloaded = 503,       // Wait list full, server draining, or the
+                               // request was shed from the wait list because
+                               // its deadline could no longer be met.
+  kCodeDeadlineExceeded = 504, // Deadline elapsed while queued (the request
+                               // reached an executor, too late to run).
   kCodeInternal = 500,         // Library-level failure.
 };
 
@@ -39,6 +44,15 @@ inline constexpr char kStats[] = "stats";       // Metrics + latency quantiles.
 inline constexpr char kSleep[] = "sleep";       // Debug: hold the executor.
 inline constexpr char kShutdown[] = "shutdown"; // Begin graceful drain.
 }  // namespace ops
+
+/// True for ops the sharded executor may run as concurrent snapshot reads:
+/// they never mutate the named session, so any number of them can run
+/// against its quiescent state while writers are excluded. Everything else
+/// (including sessionless ops like `list`, which serialize on the "" key)
+/// executes exclusively. See docs/architecture.md "Service layer".
+inline bool IsSnapshotReadOp(const std::string& op) {
+  return op == ops::kVerify || op == ops::kDiscover;
+}
 
 }  // namespace fastofd
 

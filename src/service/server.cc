@@ -50,51 +50,48 @@ Json ErrResponse(const Json& request, int code, const std::string& message) {
   return response;
 }
 
+int ResolveShardCount(int configured) {
+  if (configured > 0) return configured;
+  int hw = ThreadPool::DefaultThreads();
+  return std::min(std::max(1, hw / 2), 8);
+}
+
+/// Deep invariant audit (common/audit.h) for the seqlock snapshot protocol:
+/// a read must run entirely against a quiescent session — version even at
+/// entry and unchanged at exit (writers hold the session exclusively and
+/// drain readers first, so any motion here is a shard-accounting bug).
+[[maybe_unused]] Status AuditSnapshotStable(const Session& session,
+                                            uint64_t entry_version) {
+  auto fail = [](const std::string& message) {
+    return audit::internal::Counted(Status::Error("snapshot audit: " + message));
+  };
+  if ((entry_version & 1) != 0) {
+    return fail("read started at odd version " +
+                std::to_string(entry_version) + " (writer mid-mutation)");
+  }
+  uint64_t exit_version = session.version();
+  if (exit_version != entry_version) {
+    return fail("session version moved " + std::to_string(entry_version) +
+                " -> " + std::to_string(exit_version) + " under a read");
+  }
+  return audit::internal::Counted(Status::Ok());
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Queue.
+// Routing.
 
-bool ServiceServer::Queue::Push(Request&& request) {
-  {
-    MutexLock lock(mu_);
-    if (closed_ || items_.size() >= depth_) return false;
-    items_.push_back(std::move(request));
+size_t ServiceServer::ShardOf(const std::string& session, size_t shard_count) {
+  // FNV-1a, 64-bit: a stable hash (not std::hash, which may vary across
+  // implementations) so session -> shard routing is deterministic for tests
+  // and reproducible across runs.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : session) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
   }
-  cv_.NotifyOne();
-  return true;
-}
-
-bool ServiceServer::Queue::PopBatch(std::vector<Request>* out, int max_updates) {
-  MutexLock lock(mu_);
-  while (!closed_ && items_.empty()) cv_.Wait(mu_);
-  if (items_.empty()) return false;  // Closed and drained.
-  out->push_back(std::move(items_.front()));
-  items_.pop_front();
-  // Micro-batch: coalesce consecutive updates against the same session so a
-  // burst of single-cell updates pays one dequeue round trip.
-  if (out->front().op == ops::kUpdate) {
-    while (static_cast<int>(out->size()) < max_updates && !items_.empty() &&
-           items_.front().op == ops::kUpdate &&
-           items_.front().session == out->front().session) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
-    }
-  }
-  return true;
-}
-
-void ServiceServer::Queue::Close() {
-  {
-    MutexLock lock(mu_);
-    closed_ = true;
-  }
-  cv_.NotifyAll();
-}
-
-size_t ServiceServer::Queue::size() const {
-  MutexLock lock(mu_);
-  return items_.size();
+  return shard_count <= 1 ? 0 : static_cast<size_t>(h % shard_count);
 }
 
 // ---------------------------------------------------------------------------
@@ -104,10 +101,28 @@ ServiceServer::ServiceServer(ServerConfig config, MetricsRegistry* metrics)
     : config_(std::move(config)),
       metrics_(metrics),
       pool_(config_.threads),
-      queue_(static_cast<size_t>(config_.queue_depth)) {
+      reads_group_(&pool_) {
+  const int num_shards = ResolveShardCount(config_.shards);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    const std::string prefix = "serve.shard." + std::to_string(i);
+    shard->depth_gauge = prefix + ".depth";
+    shard->parked_gauge = prefix + ".parked";
+    shard->stolen_counter = prefix + ".stolen";
+    shard->executed_counter = prefix + ".executed";
+    metrics_->Set(shard->depth_gauge, 0);
+    metrics_->Set(shard->parked_gauge, 0);
+    metrics_->Add(shard->stolen_counter, 0);
+    metrics_->Add(shard->executed_counter, 0);
+    shards_.push_back(std::move(shard));
+  }
   // Register the fleet-facing counters at zero so the first `stats` or
   // metrics flush shows them even before traffic arrives.
+  metrics_->Set("serve.shards", static_cast<double>(num_shards));
   metrics_->Add("serve.rejected", 0);
+  metrics_->Add("serve.shed", 0);
+  metrics_->Add("serve.snapshot_reads", 0);
   metrics_->Add("serve.deadline_exceeded", 0);
   metrics_->Add("serve.responses.ok", 0);
   metrics_->Add("serve.responses.error", 0);
@@ -168,7 +183,10 @@ Status ServiceServer::Start() {
     return Status::Error("listen: " + ErrnoString(errno));
   }
   listener_ = std::thread([this] { ListenerLoop(); });
-  executor_ = std::thread([this] { ExecutorLoop(); });
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->executor =
+        std::thread([this, i] { ExecutorLoop(static_cast<int>(i)); });
+  }
   started_ = true;
   return Status::Ok();
 }
@@ -183,8 +201,14 @@ void ServiceServer::NotifyShutdown() {
 void ServiceServer::Wait() {
   if (!started_ || joined_) return;
   if (listener_.joinable()) listener_.join();
-  // Listener closed the queue; the executor finishes every queued request.
-  if (executor_.joinable()) executor_.join();
+  // Listener closed every shard; each executor finishes every queued and
+  // parked request (parked entries are promoted or shed, never dropped).
+  for (auto& shard : shards_) {
+    if (shard->executor.joinable()) shard->executor.join();
+  }
+  // Snapshot reads dispatched by the executors may still be in flight on
+  // the pool; their responses must go out before connections close.
+  reads_group_.Wait();
   // All responses are written; now tear down connections.
   {
     MutexLock lock(conns_mu_);
@@ -205,7 +229,13 @@ void ServiceServer::Wait() {
 
 void ServiceServer::BeginDrain() {
   draining_.store(true);
-  queue_.Close();
+  for (auto& shard : shards_) {
+    {
+      MutexLock lock(shard->mu);
+      shard->closed = true;
+    }
+    shard->work_cv.NotifyAll();
+  }
   if (listen_fd_ != -1) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -297,18 +327,18 @@ void ServiceServer::ReaderLoop(std::shared_ptr<Connection> conn,
         request.deadline_seconds = request.enqueue_seconds + deadline_ms / 1e3;
       }
       metrics_->Add("serve.requests." + request.op, 1);
-      // Push only consumes the request on success, so `msg` is still valid
-      // when we build the rejection response below.
+      // ShardPush only consumes the request on success, so `msg` is still
+      // valid when we build the rejection response below.
       const Json& msg = request.msg;
-      if (!queue_.Push(std::move(request))) {
+      if (!ShardPush(std::move(request))) {
         metrics_->Add("serve.rejected", 1);
-        WriteResponse(*conn,
-                      ErrResponse(msg, kCodeOverloaded,
-                                  draining_.load() ? "server draining"
-                                                   : "request queue full"));
+        WriteResponse(*conn, ErrResponse(
+                                 msg, kCodeOverloaded,
+                                 draining_.load()
+                                     ? "server draining"
+                                     : "request queue and wait list full"));
         continue;
       }
-      metrics_->Set("serve.queue_depth", static_cast<double>(queue_.size()));
     }
     buffer.erase(0, start);
   }
@@ -346,21 +376,239 @@ void ServiceServer::WriteResponse(Connection& conn, const Json& response) {
 }
 
 // ---------------------------------------------------------------------------
-// Executor.
+// Shards: admission, parking, shedding, eligible pops.
 
-void ServiceServer::ExecutorLoop() {
-  std::vector<Request> batch;
-  while (true) {
-    batch.clear();
-    if (!queue_.PopBatch(&batch, config_.max_update_batch)) break;
-    metrics_->Set("serve.queue_depth", static_cast<double>(queue_.size()));
-    if (batch.size() > 1) {
-      metrics_->Add("serve.batches", 1);
-      metrics_->Observe("serve.batch_size", static_cast<double>(batch.size()));
+void ServiceServer::PublishShardGauges(int shard_index, size_t depth,
+                                       size_t parked) {
+  const Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+  metrics_->Set(shard.depth_gauge, static_cast<double>(depth));
+  metrics_->Set(shard.parked_gauge, static_cast<double>(parked));
+}
+
+bool ServiceServer::ShardPush(Request&& request) {
+  const size_t index = ShardOf(request.session, shards_.size());
+  Shard& shard = *shards_[index];
+  std::vector<Request> shed;
+  bool admitted = false;
+  size_t depth = 0;
+  size_t parked = 0;
+  {
+    MutexLock lock(shard.mu);
+    if (!shard.closed) {
+      ShedExpiredLocked(shard, &shed);
+      // Queue directly only when nobody is parked ahead of us — otherwise a
+      // newcomer would overtake a parked request of the same session and
+      // break per-session FIFO.
+      if (shard.parked.empty() &&
+          shard.queue.size() < static_cast<size_t>(config_.queue_depth)) {
+        shard.queue.push_back(std::move(request));
+        admitted = true;
+      } else if (shard.parked.size() <
+                 static_cast<size_t>(config_.max_parked)) {
+        shard.parked.push_back(std::move(request));
+        admitted = true;
+      }
     }
-    ExecuteBatch(batch);
+    depth = shard.queue.size();
+    parked = shard.parked.size();
+  }
+  if (admitted) shard.work_cv.NotifyOne();
+  PublishShardGauges(static_cast<int>(index), depth, parked);
+  RespondShed(shed);
+  return admitted;
+}
+
+void ServiceServer::ShedExpiredLocked(Shard& shard,
+                                      std::vector<Request>* shed) {
+  if (shard.parked.empty()) return;
+  const double now = NowSeconds();
+  for (auto it = shard.parked.begin(); it != shard.parked.end();) {
+    if (it->deadline_seconds > 0 && now >= it->deadline_seconds) {
+      shed->push_back(std::move(*it));
+      it = shard.parked.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
+
+void ServiceServer::RespondShed(std::vector<Request>& shed) {
+  for (Request& request : shed) {
+    metrics_->Add("serve.shed", 1);
+    WriteResponse(*request.conn,
+                  ErrResponse(request.msg, kCodeOverloaded,
+                              "deadline cannot be met: shed from wait list"));
+  }
+  shed.clear();
+}
+
+bool ServiceServer::PopUnitLocked(Shard& shard, Unit* unit,
+                                  std::vector<Request>* shed) {
+  ShedExpiredLocked(shard, shed);
+  // Promote parked requests into freed queue room, oldest first.
+  while (!shard.parked.empty() &&
+         shard.queue.size() < static_cast<size_t>(config_.queue_depth)) {
+    shard.queue.push_back(std::move(shard.parked.front()));
+    shard.parked.pop_front();
+  }
+  // First request whose session has no exclusive writer. Skipping a session
+  // blocks every later request of that session: cross-session reordering is
+  // allowed, intra-session reordering never.
+  std::set<std::string> skipped;
+  for (size_t i = 0; i < shard.queue.size(); ++i) {
+    const std::string& session = shard.queue[i].session;
+    if (shard.busy.count(session) != 0 || skipped.count(session) != 0) {
+      skipped.insert(session);
+      continue;
+    }
+    unit->home = &shard;
+    unit->is_read = IsSnapshotReadOp(shard.queue[i].op);
+    unit->batch.clear();
+    unit->batch.push_back(std::move(shard.queue[i]));
+    shard.queue.erase(shard.queue.begin() + static_cast<std::ptrdiff_t>(i));
+    if (unit->is_read) {
+      // Reader slot: blocks writers (they drain readers first) but not
+      // other reads of the same session — that is the whole point.
+      ++shard.readers[unit->batch.front().session];
+    } else {
+      shard.busy.insert(unit->batch.front().session);
+      if (unit->batch.front().op == ops::kUpdate) {
+        // Micro-batch: coalesce the run of same-session updates that
+        // directly followed the popped one, so a burst of single-cell
+        // updates pays one dispatch round trip.
+        while (static_cast<int>(unit->batch.size()) < config_.max_update_batch &&
+               i < shard.queue.size() && shard.queue[i].op == ops::kUpdate &&
+               shard.queue[i].session == unit->batch.front().session) {
+          unit->batch.push_back(std::move(shard.queue[i]));
+          shard.queue.erase(shard.queue.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Executors.
+
+void ServiceServer::ExecutorLoop(int shard_index) {
+  Shard& home = *shards_[static_cast<size_t>(shard_index)];
+  const size_t num_shards = shards_.size();
+  std::vector<Request> shed;
+  for (;;) {
+    Unit unit;
+    bool got = false;
+    bool drained_out = false;
+    size_t depth = 0;
+    size_t parked = 0;
+    {
+      MutexLock lock(home.mu);
+      got = PopUnitLocked(home, &unit, &shed);
+      drained_out = !got && home.closed && home.queue.empty() &&
+                    home.parked.empty();
+      depth = home.queue.size();
+      parked = home.parked.size();
+    }
+    PublishShardGauges(shard_index, depth, parked);
+    RespondShed(shed);
+    if (got) {
+      RunUnit(std::move(unit), shard_index);
+      continue;
+    }
+    if (drained_out) break;
+    // Nothing runnable at home: steal an eligible unit from another shard.
+    // The busy/reader accounting stays in the victim, so per-session
+    // ordering is preserved; at most one Shard::mu is held at a time.
+    for (size_t off = 1; off < num_shards && !got; ++off) {
+      const size_t victim_index =
+          (static_cast<size_t>(shard_index) + off) % num_shards;
+      Shard& victim = *shards_[victim_index];
+      {
+        MutexLock lock(victim.mu);
+        got = PopUnitLocked(victim, &unit, &shed);
+      }
+      RespondShed(shed);
+      if (got) {
+        metrics_->Add(home.stolen_counter, 1);
+        RunUnit(std::move(unit), shard_index);
+      }
+    }
+    if (got) continue;
+    // Idle: sleep briefly. The timeout doubles as the polling cadence for
+    // deadline shedding of parked requests and for steal opportunities on
+    // other shards (a push only notifies its own shard's executor).
+    MutexLock lock(home.mu);
+    if (!(home.closed && home.queue.empty() && home.parked.empty())) {
+      home.work_cv.WaitFor(home.mu, std::chrono::milliseconds(2));
+    }
+  }
+}
+
+void ServiceServer::RunUnit(Unit unit, int executor_shard) {
+  const Shard& self = *shards_[static_cast<size_t>(executor_shard)];
+  metrics_->Add(self.executed_counter,
+                static_cast<int64_t>(unit.batch.size()));
+  if (unit.is_read) {
+    DispatchRead(std::move(unit));
+    return;
+  }
+  Shard& home = *unit.home;
+  const std::string session = unit.batch.front().session;
+  {
+    // The session is already marked busy, so no new readers can start;
+    // wait out the in-flight ones before mutating.
+    MutexLock lock(home.mu);
+    while (home.readers.count(session) != 0) home.drain_cv.Wait(home.mu);
+  }
+  if (unit.batch.size() > 1) {
+    metrics_->Add("serve.batches", 1);
+    metrics_->Observe("serve.batch_size",
+                      static_cast<double>(unit.batch.size()));
+  }
+  ExecuteBatch(unit.batch);
+  {
+    MutexLock lock(home.mu);
+    home.busy.erase(session);
+  }
+  // Wake the home executor (and any thief polling it): requests of this
+  // session are eligible again.
+  home.work_cv.NotifyAll();
+}
+
+void ServiceServer::DispatchRead(Unit unit) {
+  auto request = std::make_shared<Request>(std::move(unit.batch.front()));
+  Shard* home = unit.home;
+  metrics_->Add("serve.snapshot_reads", 1);
+  // Value captures only: the read outlives this scope (it runs on the
+  // pool), so the request rides a shared_ptr and the shard by pointer.
+  reads_group_.Submit([this, request, home](int) {
+    ExecuteOne(*request);
+    bool drained = false;
+    {
+      MutexLock lock(home->mu);
+      auto it = home->readers.find(request->session);
+      if (it != home->readers.end() && --(it->second) == 0) {
+        home->readers.erase(it);
+        drained = true;
+      }
+    }
+    if (drained) home->drain_cv.NotifyAll();
+  });
+}
+
+size_t ServiceServer::TotalQueued() {
+  size_t total = 0;
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->queue.size() + shard->parked.size();
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Request execution.
 
 Status ServiceServer::AuditBatchShape(const std::vector<Request>& batch) const {
   auto fail = [](const std::string& message) {
@@ -395,22 +643,24 @@ Status ServiceServer::AuditBatchShape(const std::vector<Request>& batch) const {
 
 void ServiceServer::ExecuteBatch(std::vector<Request>& batch) {
   FASTOFD_AUDIT_OK(AuditBatchShape(batch));
-  for (Request& request : batch) {
-    double begin = NowSeconds();
-    metrics_->Observe("serve.queue_wait", begin - request.enqueue_seconds);
-    Json response;
-    if (request.deadline_seconds > 0 && begin > request.deadline_seconds) {
-      metrics_->Add("serve.deadline_exceeded", 1);
-      response = ErrResponse(request.msg, kCodeDeadlineExceeded,
-                             "deadline exceeded while queued");
-      metrics_->Add("serve.responses.error", 1);
-    } else {
-      response = Execute(request.msg);
-    }
-    metrics_->Observe("serve.latency." + request.op,
-                      NowSeconds() - request.enqueue_seconds);
-    WriteResponse(*request.conn, response);
+  for (Request& request : batch) ExecuteOne(request);
+}
+
+void ServiceServer::ExecuteOne(Request& request) {
+  double begin = NowSeconds();
+  metrics_->Observe("serve.queue_wait", begin - request.enqueue_seconds);
+  Json response;
+  if (request.deadline_seconds > 0 && begin > request.deadline_seconds) {
+    metrics_->Add("serve.deadline_exceeded", 1);
+    response = ErrResponse(request.msg, kCodeDeadlineExceeded,
+                           "deadline exceeded while queued");
+    metrics_->Add("serve.responses.error", 1);
+  } else {
+    response = Execute(request.msg);
   }
+  metrics_->Observe("serve.latency." + request.op,
+                    NowSeconds() - request.enqueue_seconds);
+  WriteResponse(*request.conn, response);
 }
 
 Json ServiceServer::Execute(const Json& request) {
@@ -440,9 +690,11 @@ Json ServiceServer::Execute(const Json& request) {
   metrics_->Add(response.Get("ok").AsBool() ? "serve.responses.ok"
                                             : "serve.responses.error",
                 1);
-  // Audit builds re-validate every session after each request: cheap ops see
-  // structural checks only; small relations also get deep re-verification.
-  FASTOFD_AUDIT_OK(sessions_.AuditInvariants());
+  // Audit builds re-validate after each request. The deep audit is scoped
+  // to the request's own session — the one this executor holds exclusively
+  // (or reads under writer exclusion); auditing other sessions here would
+  // race their own shards' writers.
+  FASTOFD_AUDIT_OK(sessions_.AuditOne(request.Get("session").AsString()));
   return response;
 }
 
@@ -510,9 +762,14 @@ Json ServiceServer::HandleUnload(const Json& request) {
 }
 
 Json ServiceServer::HandleList(const Json& request) {
+  // `list` executes exclusively on the "" session only, so it observes
+  // *other* sessions mid-traffic: the scalar state it samples is either
+  // immutable after load (rows, attrs, sigma) or an internally synchronized
+  // / atomic snapshot (cache accounting, incremental counters). The
+  // shared_ptr from Find keeps each entry alive across a concurrent unload.
   Json sessions = Json::Array();
   for (const std::string& name : sessions_.Names()) {
-    Session* s = sessions_.Find(name);
+    std::shared_ptr<Session> s = sessions_.Find(name);
     if (s == nullptr) continue;
     Json entry = Json::Object();
     entry.Set("session", Json::Str(name));
@@ -527,6 +784,8 @@ Json ServiceServer::HandleList(const Json& request) {
       entry.Set("violating_classes",
                 Json::Int(s->incremental()->total_violating()));
     }
+    entry.Set("session_version",
+              Json::Int(static_cast<int64_t>(s->version())));
     entry.Set("load_seconds", Json::Number(s->load_seconds()));
     sessions.Push(std::move(entry));
   }
@@ -536,13 +795,17 @@ Json ServiceServer::HandleList(const Json& request) {
 }
 
 Json ServiceServer::HandleVerify(const Json& request) {
-  Session* session = sessions_.Find(request.Get("session").AsString());
+  std::shared_ptr<Session> session =
+      sessions_.Find(request.Get("session").AsString());
   if (session == nullptr) {
     return ErrResponse(request, kCodeNotFound, "unknown session");
   }
   if (!session->has_sigma()) {
     return ErrResponse(request, kCodeBadRequest, "session has no sigma");
   }
+  // Snapshot read: the shard layer guarantees no writer touches this
+  // session while we run; the version audit at the end proves it.
+  [[maybe_unused]] const uint64_t entry_version = session->version();
   const SigmaSet& sigma = session->sigma();
   OfdVerifier verifier(session->rel(), session->index(), &session->ontology());
   struct Check {
@@ -573,14 +836,17 @@ Json ServiceServer::HandleVerify(const Json& request) {
   response.Set("ofds", std::move(ofds));
   response.Set("violated", Json::Int(violated));
   response.Set("consistent", Json::Bool(violated == 0));
+  FASTOFD_AUDIT_OK(AuditSnapshotStable(*session, entry_version));
   return response;
 }
 
 Json ServiceServer::HandleDiscover(const Json& request) {
-  Session* session = sessions_.Find(request.Get("session").AsString());
+  std::shared_ptr<Session> session =
+      sessions_.Find(request.Get("session").AsString());
   if (session == nullptr) {
     return ErrResponse(request, kCodeNotFound, "unknown session");
   }
+  [[maybe_unused]] const uint64_t entry_version = session->version();
   FastOfdConfig config;
   config.min_support = request.Get("kappa").AsDouble(1.0);
   config.max_level = static_cast<int>(request.Get("max_level").AsInt(64));
@@ -596,11 +862,13 @@ Json ServiceServer::HandleDiscover(const Json& request) {
   Json response = OkResponse(request);
   response.Set("ofds", std::move(ofds));
   response.Set("candidates_checked", Json::Int(result.candidates_checked));
+  FASTOFD_AUDIT_OK(AuditSnapshotStable(*session, entry_version));
   return response;
 }
 
 Json ServiceServer::HandleClean(const Json& request) {
-  Session* session = sessions_.Find(request.Get("session").AsString());
+  std::shared_ptr<Session> session =
+      sessions_.Find(request.Get("session").AsString());
   if (session == nullptr) {
     return ErrResponse(request, kCodeNotFound, "unknown session");
   }
@@ -645,7 +913,8 @@ Json ServiceServer::HandleClean(const Json& request) {
 }
 
 Json ServiceServer::HandleUpdate(const Json& request) {
-  Session* session = sessions_.Find(request.Get("session").AsString());
+  std::shared_ptr<Session> session =
+      sessions_.Find(request.Get("session").AsString());
   if (session == nullptr) {
     return ErrResponse(request, kCodeNotFound, "unknown session");
   }
@@ -716,6 +985,11 @@ Json ServiceServer::HandleUpdate(const Json& request) {
       session->incremental() != nullptr
           ? session->incremental()->classes_rechecked()
           : 0;
+  // Seqlock write bracket: version goes odd while the session mutates. The
+  // shard layer already drained this session's snapshot readers and blocks
+  // new ones (busy), so no read ever observes the odd window — the version
+  // audit in the read handlers enforces exactly that.
+  session->BeginWrite();
   int applied = 0;
   for (const ResolvedUpdate& ru : resolved) {
     ValueId value = rel.mutable_dict().Intern(*ru.value);
@@ -723,6 +997,7 @@ Json ServiceServer::HandleUpdate(const Json& request) {
     ++applied;
   }
   size_t invalidated = session->FlushInvalidations();
+  session->EndWrite();
   metrics_->Add("serve.cells_updated", applied);
   // The update path is where incremental state drifts if it ever will:
   // re-check group maps (and on small relations, full Σ) immediately.
@@ -743,6 +1018,8 @@ Json ServiceServer::HandleUpdate(const Json& request) {
 }
 
 Json ServiceServer::HandleStats(const Json& request) {
+  size_t queued = TotalQueued();
+  metrics_->Set("serve.queue_depth", static_cast<double>(queued));
   MetricsSnapshot snapshot = metrics_->Snapshot();
   Json counters = Json::Object();
   for (const auto& [name, v] : snapshot.counters) counters.Set(name, Json::Int(v));
@@ -772,7 +1049,8 @@ Json ServiceServer::HandleStats(const Json& request) {
     latency.Set(name.substr(prefix.size()), std::move(entry));
   }
   Json response = OkResponse(request);
-  response.Set("queue_depth", Json::Int(static_cast<int64_t>(queue_.size())));
+  response.Set("queue_depth", Json::Int(static_cast<int64_t>(queued)));
+  response.Set("shards", Json::Int(static_cast<int64_t>(shards_.size())));
   response.Set("sessions", Json::Int(static_cast<int64_t>(sessions_.size())));
   response.Set("latency", std::move(latency));
   response.Set("counters", std::move(counters));

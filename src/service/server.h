@@ -1,34 +1,51 @@
 // The fastofd cleaning service: a resident daemon answering NDJSON requests
 // over a UNIX-domain or TCP socket.
 //
-// Threading model (see docs/protocol.md for the wire format):
+// Threading model (see docs/protocol.md for the wire format and
+// docs/architecture.md "Service layer" for the shard diagram):
 //
 //   listener ──accept──► one reader thread per connection
 //                              │  parse line → Request
+//                              │  route: FNV-1a(session) % num_shards
 //                              ▼
-//                     bounded RequestQueue          (admission control:
-//                              │                     full → 503, closed
-//                              ▼                     while draining → 503)
-//                      one executor thread
-//                        · pops requests FIFO, micro-batching consecutive
-//                          `update` requests on the same session
-//                        · checks the per-request deadline (expired → 504)
-//                        · runs handlers; compute-heavy ops fan out on the
-//                          shared ThreadPool
-//                        · writes each response back on the request's
-//                          connection
+//        ┌─ shard 0 ─────────┐ ┌─ shard 1 ─────────┐  … N shards, default
+//        │ queue   (bounded) │ │ queue   (bounded) │  min(hw/2, 8)
+//        │ parked  (bounded) │ │ parked  (bounded) │
+//        │ busy / readers    │ │ busy / readers    │
+//        │ executor thread ◄─┼─┼── steals when idle│
+//        └───────────────────┘ └───────────────────┘
+//
+// Admission (reader thread): a request is queued while the shard's bounded
+// queue has room, *parked* in the shard's bounded wait list when it does
+// not, and rejected 503 only when the wait list is also full (or the server
+// is draining). Parked requests are shed 503 the moment their deadline can
+// no longer be met — load-shedding by deadline, not by instantaneous depth.
+//
+// Execution (per-shard executor threads): each executor pops the first
+// request of its shard whose session has no exclusive writer, preserving
+// per-session FIFO order (skipping a session blocks all its later
+// requests). Mutating ops mark the session busy and run exclusively, with
+// consecutive same-session `update` requests micro-batched; read-only ops
+// (`verify`/`discover`) take a reader slot and fan out to the shared
+// work-stealing ThreadPool, so concurrent clients on one hot session no
+// longer serialize — a writer drains the session's readers (drain_cv)
+// before mutating, and Session::version() seqlock-audits the quiescence.
+// An executor with an empty shard steals eligible requests from other
+// shards (busy/reader accounting stays in the victim shard, so per-session
+// ordering survives stealing).
 //
 // Graceful drain: NotifyShutdown() (async-signal-safe; SIGTERM handlers and
-// the `shutdown` op call it) stops the listener, closes the queue so new
-// requests are rejected with 503, lets the executor finish every queued
-// request, and only then tears connections down — no accepted request loses
-// its response. Wait() returns once the drain completes; the caller then
-// flushes metrics.
+// the `shutdown` op call it) stops the listener, closes every shard so new
+// requests are rejected with 503, lets each executor finish every queued
+// *and parked* request, waits out in-flight snapshot reads, and only then
+// tears connections down — no accepted request loses its response. Wait()
+// returns once the drain completes; the caller then flushes metrics.
 //
 // Observability: per-op request counters and latency histograms
-// (p50/p95/p99 via `stats`), a queue-depth gauge, queue-wait and batch-size
-// histograms, and rejection/deadline counters, all in the shared
-// MetricsRegistry under `serve.*`.
+// (p50/p95/p99 via `stats`), per-shard depth/parked gauges and
+// stolen/executed counters under `serve.shard.<i>.*`, queue-wait and
+// batch-size histograms, and rejection/shed/deadline counters, all in the
+// shared MetricsRegistry under `serve.*`.
 
 #ifndef FASTOFD_SERVICE_SERVER_H_
 #define FASTOFD_SERVICE_SERVER_H_
@@ -37,7 +54,9 @@
 #include <cstdint>
 #include <deque>
 #include <list>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +64,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "exec/task_group.h"
 #include "exec/thread_pool.h"
 #include "relation/partition.h"
 #include "service/json.h"
@@ -60,8 +80,16 @@ struct ServerConfig {
   int tcp_port = 0;
   /// Worker threads of the shared execution pool.
   int threads = 1;
-  /// Admission control: maximum queued (not yet executing) requests.
+  /// Session-shard executors (0 = auto: min(max(1, hw/2), 8)). Requests
+  /// route to shards by a stable hash of the session id.
+  int shards = 0;
+  /// Admission control: maximum queued (not yet executing) requests per
+  /// shard.
   int queue_depth = 64;
+  /// Bounded wait list per shard: requests that find the queue full park
+  /// here until capacity frees or their deadline can no longer be met
+  /// (shed 503). 0 disables parking (hard 503 at queue_depth).
+  int max_parked = 1024;
   /// Default per-request deadline in ms (0 = none); requests may override
   /// with a `deadline_ms` field. The deadline covers time spent queued.
   double default_deadline_ms = 0.0;
@@ -81,7 +109,7 @@ class ServiceServer {
   ServiceServer(const ServiceServer&) = delete;
   ServiceServer& operator=(const ServiceServer&) = delete;
 
-  /// Binds, listens, and spawns the listener + executor threads.
+  /// Binds, listens, and spawns the listener + per-shard executor threads.
   Status Start();
 
   /// Begins a graceful drain. Async-signal-safe (writes one byte to an
@@ -95,9 +123,18 @@ class ServiceServer {
   int port() const { return port_; }
 
   /// Executes one request inline on the calling thread, bypassing the
-  /// socket and queue — the deterministic core the wire path wraps.
-  /// Exposed for tests and the in-process bench.
+  /// socket and shard queues — the deterministic core the wire path wraps.
+  /// Exposed for tests and the in-process bench. Not safe concurrently
+  /// with itself or with a started server's traffic.
   Json Execute(const Json& request);
+
+  /// The stable session → shard routing (FNV-1a over the session id).
+  /// Exposed so tests can construct colliding / non-colliding session
+  /// names deterministically.
+  static size_t ShardOf(const std::string& session, size_t shard_count);
+
+  /// Number of shard executors this server resolved (>= 1).
+  int shard_count() const { return static_cast<int>(shards_.size()); }
 
  private:
   // write_mu serializes writers and guards fd against the reader's close.
@@ -120,26 +157,49 @@ class ServiceServer {
     double deadline_seconds = 0.0;  // Absolute; 0 = none.
   };
 
-  /// Bounded MPSC queue with admission control.
-  class Queue {
-   public:
-    explicit Queue(size_t depth) : depth_(depth) {}
-    /// False when full or closed (caller responds 503). The request is only
-    /// consumed on success; on rejection the caller's object is untouched so
-    /// it can still build the error response (echoing the request id).
-    bool Push(Request&& request) EXCLUDES(mu_);
-    /// Pops one request, or a run of consecutive same-session `update`
-    /// requests (at most `max_updates`). False when closed and empty.
-    bool PopBatch(std::vector<Request>* out, int max_updates) EXCLUDES(mu_);
-    void Close() EXCLUDES(mu_);
-    size_t size() const EXCLUDES(mu_);
+  /// One session shard: a bounded admitted queue, a bounded wait list, the
+  /// per-session exclusion state, and the executor thread that drains them.
+  ///
+  /// Shard mutexes form an *unordered family*: code must hold at most one
+  /// Shard::mu at a time (a thief locks only the victim's mu, never its own
+  /// alongside), because lock order across the elements of a mutex array is
+  /// not expressible to the analysis — see src/common/sync.h.
+  struct Shard {
+    Mutex mu;
+    /// Executor sleep/wake: notified on push, busy-clear, and close.
+    CondVar work_cv;
+    /// Writers wait here until the session's snapshot readers drain.
+    CondVar drain_cv;
+    /// Admitted, not yet executing; at most config.queue_depth entries.
+    std::deque<Request> queue GUARDED_BY(mu);
+    /// Bounded wait list: admitted but waiting for queue room; shed 503
+    /// when the deadline passes. At most config.max_parked entries.
+    std::deque<Request> parked GUARDED_BY(mu);
+    /// Sessions currently held by an exclusive writer (possibly executing
+    /// on a *different* shard's executor after a steal — the accounting
+    /// stays here, in the session's home shard).
+    std::set<std::string> busy GUARDED_BY(mu);
+    /// Session → number of in-flight snapshot reads on the shared pool.
+    std::map<std::string, int> readers GUARDED_BY(mu);
+    bool closed GUARDED_BY(mu) = false;
+    std::thread executor;
+    // Precomputed metric names (constant after construction, unguarded):
+    // building "serve.shard.<i>.depth" per request would allocate on the
+    // admission hot path.
+    std::string depth_gauge;
+    std::string parked_gauge;
+    std::string stolen_counter;
+    std::string executed_counter;
+  };
 
-   private:
-    const size_t depth_;
-    mutable Mutex mu_;  // Leaf lock: nothing is acquired under it.
-    CondVar cv_;
-    std::deque<Request> items_ GUARDED_BY(mu_);
-    bool closed_ GUARDED_BY(mu_) = false;
+  /// One unit of work popped from a shard: either a single snapshot-read
+  /// request (a readers[] slot is already held in `home`) or an exclusive
+  /// batch (the session is marked busy in `home`). `home` is the shard the
+  /// unit was popped from — the victim, under stealing.
+  struct Unit {
+    std::vector<Request> batch;
+    bool is_read = false;
+    Shard* home = nullptr;
   };
 
   void ListenerLoop();
@@ -147,22 +207,58 @@ class ServiceServer {
   /// to finished_readers_ for the listener (or Wait) to join.
   void ReaderLoop(std::shared_ptr<Connection> conn,
                   std::list<std::thread>::iterator self);
-  void ExecutorLoop();
+  /// Drains shards_[shard_index], stealing from other shards when idle.
+  void ExecutorLoop(int shard_index);
   void BeginDrain();
   /// Joins every reader thread that has finished its loop. Cheap: joined
   /// threads have already exited.
   void ReapFinishedReaders();
 
+  /// Admission (reader threads): queue, else park, else reject (false).
+  /// The request is only consumed on success; on rejection the caller's
+  /// object is untouched so it can still build the 503 (echoing the id).
+  /// Also sheds expired parked requests as a side effect.
+  bool ShardPush(Request&& request);
+  /// Pops the next eligible unit: sheds expired parked entries into *shed,
+  /// promotes parked → queue while there is room, then takes the first
+  /// queued request whose session has no exclusive writer (skipping a
+  /// session blocks all its later requests — per-session FIFO). Marks the
+  /// reader slot / busy entry in `shard` before returning.
+  bool PopUnitLocked(Shard& shard, Unit* unit, std::vector<Request>* shed)
+      REQUIRES(shard.mu);
+  /// Moves parked requests whose deadline can no longer be met into *shed.
+  void ShedExpiredLocked(Shard& shard, std::vector<Request>* shed)
+      REQUIRES(shard.mu);
+  /// Writes the 503 shed responses. Call with no shard mutex held.
+  void RespondShed(std::vector<Request>& shed);
+  /// Executes one popped unit on the calling executor thread (exclusive
+  /// batches run inline after draining the session's readers; snapshot
+  /// reads dispatch to the shared pool and return immediately).
+  void RunUnit(Unit unit, int executor_shard);
+  /// Submits a snapshot read to the pool; the completion releases the
+  /// reader slot in unit.home and notifies its drain_cv.
+  void DispatchRead(Unit unit);
+  /// Publishes the shard's depth/parked gauges. Call outside shard.mu with
+  /// sizes snapshotted under it.
+  void PublishShardGauges(int shard_index, size_t depth, size_t parked);
+  /// Sum of queued + parked requests across shards (locks one at a time).
+  size_t TotalQueued();
+
   void WriteResponse(Connection& conn, const Json& response);
+  /// Runs a batch of requests inline: per-request queue-wait/deadline
+  /// accounting around Execute, responses written in order.
   void ExecuteBatch(std::vector<Request>& batch);
+  /// One request of a batch: deadline check (expired → 504), Execute,
+  /// latency observation, response write.
+  void ExecuteOne(Request& request);
 
   /// Deep invariant audit (common/audit.h): a popped batch is non-empty,
   /// within the micro-batch bound, every request carries a live connection
   /// and an op matching its message, and multi-request batches are runs of
-  /// same-session updates — the shape Queue::PopBatch promises.
+  /// same-session updates — the shape PopUnitLocked promises.
   Status AuditBatchShape(const std::vector<Request>& batch) const;
 
-  // --- Handlers (executor thread) ---
+  // --- Handlers (executor threads; verify/discover also pool workers) ---
   Json HandlePing(const Json& request);
   Json HandleLoad(const Json& request);
   Json HandleUnload(const Json& request);
@@ -177,8 +273,11 @@ class ServiceServer {
   const ServerConfig config_;
   MetricsRegistry* const metrics_;
   ThreadPool pool_;
+  // Long-lived group for in-flight snapshot reads. Declared after pool_ so
+  // its destructor (which waits for the reads) runs before the pool's.
+  TaskGroup reads_group_;
   SessionRegistry sessions_;
-  Queue queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   // listen_fd_ is single-threaded by phase: written by Start() before any
   // thread exists, then owned by the listener thread (ListenerLoop /
@@ -190,7 +289,6 @@ class ServiceServer {
   std::atomic<bool> shutdown_requested_{false};
 
   std::thread listener_;
-  std::thread executor_;
 
   // Guards the connection registry and reader-thread accounting. Lock order:
   // conns_mu_ before any Connection::write_mu (see Connection above).

@@ -95,10 +95,10 @@ Status SessionRegistry::Remove(const std::string& name) {
   return Status::Ok();
 }
 
-Session* SessionRegistry::Find(const std::string& name) {
+std::shared_ptr<Session> SessionRegistry::Find(const std::string& name) {
   MutexLock lock(mu_);
   auto it = sessions_.find(name);
-  return it == sessions_.end() ? nullptr : it->second.get();
+  return it == sessions_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> SessionRegistry::Names() const {
@@ -127,6 +127,34 @@ Status SessionRegistry::AuditInvariants() const {
                         "' registered under key '" + name + "'"));
     }
     Status session_ok = session->Audit();
+    if (!session_ok.ok()) return session_ok;
+  }
+  return audit::internal::Counted(Status::Ok());
+}
+
+Status SessionRegistry::AuditOne(const std::string& name) const {
+  std::shared_ptr<Session> target;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [key, session] : sessions_) {
+      if (session == nullptr) {
+        return audit::internal::Counted(
+            Status::Error("registry audit: null session under '" + key + "'"));
+      }
+      if (session->name() != key) {
+        return audit::internal::Counted(
+            Status::Error("registry audit: session '" + session->name() +
+                          "' registered under key '" + key + "'"));
+      }
+    }
+    auto it = sessions_.find(name);
+    if (it != sessions_.end()) target = it->second;
+  }
+  // Deep audit outside mu_: the shared_ptr pins the session, and the caller
+  // holds it exclusively (writer) or under writer exclusion (reader), so
+  // the state cannot mutate underneath the audit.
+  if (target != nullptr) {
+    Status session_ok = target->Audit();
     if (!session_ok.ok()) return session_ok;
   }
   return audit::internal::Counted(Status::Ok());

@@ -10,6 +10,7 @@
 #ifndef FASTOFD_SERVICE_SESSION_H_
 #define FASTOFD_SERVICE_SESSION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -29,9 +30,16 @@
 namespace fastofd {
 
 /// One loaded (relation, ontology, Σ) triple with warm derived state.
-/// Sessions are owned by the SessionRegistry and used by one request at a
-/// time (the service executor serializes request execution), so the session
-/// itself needs no internal locking.
+///
+/// Concurrency contract (enforced by ServiceServer's shard layer, not by
+/// locks in here): mutating requests (`update`, `load`, `unload`) hold the
+/// session exclusively — the owning shard marks the session busy and drains
+/// every in-flight snapshot reader first — while read-only requests
+/// (`verify`, `discover`) may run concurrently with each other against the
+/// quiescent state. The seqlock-style version() counter makes the contract
+/// checkable: writers bracket mutations with BeginWrite()/EndWrite() (odd =
+/// mutating), and readers audit that the version is even and unchanged
+/// across their whole computation.
 class Session {
  public:
   /// Loads the files, compiles the index, builds the incremental verifier
@@ -55,6 +63,15 @@ class Session {
 
   /// Null iff no Σ was loaded.
   IncrementalVerifier* incremental() { return incremental_.get(); }
+
+  /// Seqlock-style session version: even = quiescent, odd = an exclusive
+  /// writer is mutating. Reads are lock-free; writes are serialized by the
+  /// server's per-session exclusivity, so fetch_add never races fetch_add.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  /// Writer entry: version becomes odd. Call only under session exclusivity.
+  void BeginWrite() { version_.fetch_add(1, std::memory_order_acq_rel); }
+  /// Writer exit: version becomes even again.
+  void EndWrite() { version_.fetch_add(1, std::memory_order_release); }
 
   /// Applies one cell update through the incremental verifier and records
   /// the touched attribute for partition-cache invalidation at batch end.
@@ -87,11 +104,16 @@ class Session {
   std::unique_ptr<IncrementalVerifier> incremental_;
   AttrSet dirty_attrs_;
   double load_seconds_ = 0.0;
+  // Lock-free seqlock counter; writes serialized by session exclusivity.
+  std::atomic<uint64_t> version_{0};
 };
 
 /// Name -> Session map guarding the service's `load`/`unload`/`list` ops.
-/// Thread-safe for registration; the returned Session pointers are only
-/// dereferenced by the executor thread.
+/// Thread-safe for registration and lookup from any executor shard. Find
+/// hands out shared ownership so `list` (which walks every session from one
+/// shard) can never observe a concurrent `unload` from another shard as a
+/// use-after-free: the map entry disappears immediately, the storage
+/// survives until the last in-flight reference drops.
 class SessionRegistry {
  public:
   /// Fails with "exists" if the name is taken.
@@ -101,22 +123,33 @@ class SessionRegistry {
   Status Remove(const std::string& name) EXCLUDES(mu_);
 
   /// Nullptr when absent.
-  Session* Find(const std::string& name) EXCLUDES(mu_);
+  std::shared_ptr<Session> Find(const std::string& name) EXCLUDES(mu_);
 
   std::vector<std::string> Names() const EXCLUDES(mu_);
   size_t size() const EXCLUDES(mu_);
 
   /// Deep invariant audit (common/audit.h): every registered session is
   /// non-null, keyed by its own name, and passes Session::Audit. Returns
-  /// the first violation found.
+  /// the first violation found. Only safe when no session is concurrently
+  /// mutating (e.g. tests, or a drained server).
   Status AuditInvariants() const EXCLUDES(mu_);
+
+  /// Per-request audit scope for the sharded executor: structural checks on
+  /// the whole registry (null entries, key/name agreement) under the lock,
+  /// then a deep Session::Audit of `name` only — the one session the
+  /// requesting shard holds exclusively (or reads while writers are
+  /// excluded), so the deep audit cannot race another shard's writer.
+  /// Unknown or empty names get the structural pass alone.
+  Status AuditOne(const std::string& name) const EXCLUDES(mu_);
 
  private:
   // Lock order: mu_ is held across Session::Audit in AuditInvariants, so it
   // sits outside each session's PartitionCache::mu_ (which in turn sits
-  // outside the MetricsRegistry lock).
+  // outside the MetricsRegistry lock). AuditOne runs the deep audit after
+  // releasing mu_ (the shared_ptr keeps the session alive), so concurrent
+  // Find/Add/Remove from other shards never stall behind it.
   mutable Mutex mu_;
-  std::map<std::string, std::unique_ptr<Session>> sessions_ GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Session>> sessions_ GUARDED_BY(mu_);
 };
 
 }  // namespace fastofd

@@ -1,0 +1,281 @@
+// Regression tests for the sharded session executors: per-session response
+// determinism must survive sharding and work stealing, and an idle shard
+// must actually steal from a loaded one. Runs under ThreadSanitizer in CI —
+// the concurrent update+verify streams here are the data-race probe for the
+// snapshot-read protocol (busy/readers/drain_cv + the session version
+// seqlock).
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/metrics.h"
+#include "datagen/datagen.h"
+#include "ofd/sigma_io.h"
+#include "service/client.h"
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/server.h"
+
+namespace fastofd {
+namespace {
+
+class ServiceShardTest : public ::testing::Test {
+ protected:
+  static std::string Dir() {
+    const char* t = std::getenv("TMPDIR");
+    std::string dir = (t ? t : "/tmp");
+    dir += "/fastofd_service_shard_test";
+    std::string cmd = "mkdir -p " + dir;
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    return dir;
+  }
+
+  void SetUp() override {
+    dir_ = Dir();
+    DataGenConfig cfg;
+    cfg.num_rows = 400;
+    cfg.error_rate = 0.03;
+    cfg.seed = 11;
+    GeneratedData data = GenerateData(cfg);
+    data_path_ = dir_ + "/d.csv";
+    ontology_path_ = dir_ + "/o.txt";
+    sigma_path_ = dir_ + "/s.txt";
+    ASSERT_TRUE(WriteCsvFile(data_path_, data.rel.ToCsv()).ok());
+    WriteText(ontology_path_, WriteOntology(data.ontology));
+    WriteText(sigma_path_, WriteSigma(data.sigma, data.rel.schema()));
+  }
+
+  static void WriteText(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+    ASSERT_TRUE(out.good());
+  }
+
+  static Json Req(const std::string& op, int64_t id = 1) {
+    Json r = Json::Object();
+    r.Set("id", Json::Int(id));
+    r.Set("op", Json::Str(op));
+    return r;
+  }
+
+  Json LoadReq(const std::string& session) {
+    Json r = Req(ops::kLoad);
+    r.Set("session", Json::Str(session));
+    r.Set("data", Json::Str(data_path_));
+    r.Set("ontology", Json::Str(ontology_path_));
+    r.Set("sigma", Json::Str(sigma_path_));
+    return r;
+  }
+
+  std::string dir_, data_path_, ontology_path_, sigma_path_;
+};
+
+constexpr int kUpdates = 12;
+constexpr int kVerifies = 8;
+constexpr int64_t kUpdateIdBase = 1000;
+constexpr int64_t kVerifyIdBase = 2000;
+
+// One client's pipelined stream: send everything, then read every response.
+std::vector<std::string> RunStream(ServiceClient& client,
+                                   const std::vector<Json>& requests) {
+  std::vector<std::string> responses;
+  for (const Json& request : requests) {
+    Status sent = client.Send(request);
+    EXPECT_TRUE(sent.ok()) << sent.message();
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto resp = client.ReadResponse();
+    EXPECT_TRUE(resp.ok()) << "response " << i;
+    if (!resp.ok()) break;
+    responses.push_back(resp.value().Dump());
+  }
+  return responses;
+}
+
+// The update stream writes a constant value into NOISE0 — an attribute no
+// OFD mentions — so the session's violation state never changes and every
+// verify response has exactly one correct byte sequence, independent of how
+// the streams interleave.
+std::vector<Json> UpdateStream() {
+  std::vector<Json> requests;
+  for (int i = 0; i < kUpdates; ++i) {
+    Json r = Json::Object();
+    r.Set("id", Json::Int(kUpdateIdBase + i));
+    r.Set("op", Json::Str(ops::kUpdate));
+    r.Set("session", Json::Str("hot"));
+    r.Set("row", Json::Int(i));
+    r.Set("attr", Json::Str("NOISE0"));
+    r.Set("value", Json::Str("zz"));
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+std::vector<Json> VerifyStream() {
+  std::vector<Json> requests;
+  for (int i = 0; i < kVerifies; ++i) {
+    Json r = Json::Object();
+    r.Set("id", Json::Int(kVerifyIdBase + i));
+    r.Set("op", Json::Str(ops::kVerify));
+    r.Set("session", Json::Str("hot"));
+    requests.push_back(std::move(r));
+  }
+  return requests;
+}
+
+// Concurrent snapshot reads may complete in any order relative to each
+// other, so responses are compared keyed by id, not by arrival position.
+std::map<int64_t, std::string> ById(const std::vector<std::string>& dumps) {
+  std::map<int64_t, std::string> by_id;
+  for (const std::string& dump : dumps) {
+    auto parsed = Json::Parse(dump);
+    EXPECT_TRUE(parsed.ok());
+    if (parsed.ok()) by_id[parsed.value().Get("id").AsInt(-1)] = dump;
+  }
+  return by_id;
+}
+
+TEST_F(ServiceShardTest, ConcurrentStreamsMatchSingleExecutorByteForByte) {
+  // Reference: one shard, streams run back to back — the pre-shard
+  // single-executor order.
+  std::vector<std::string> ref_updates, ref_verifies;
+  {
+    MetricsRegistry metrics;
+    ServerConfig config;
+    config.threads = 2;
+    config.shards = 1;
+    config.queue_depth = 64;
+    ServiceServer server(config, &metrics);
+    ASSERT_TRUE(server.Start().ok());
+    auto client = ServiceClient::ConnectTcp(server.port());
+    ASSERT_TRUE(client.ok());
+    auto loaded = client.value().Call(LoadReq("hot"));
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_TRUE(loaded.value().Get("ok").AsBool()) << loaded.value().Dump();
+    ref_updates = RunStream(client.value(), UpdateStream());
+    ref_verifies = RunStream(client.value(), VerifyStream());
+    server.NotifyShutdown();
+    server.Wait();
+  }
+  ASSERT_EQ(ref_updates.size(), static_cast<size_t>(kUpdates));
+  ASSERT_EQ(ref_verifies.size(), static_cast<size_t>(kVerifies));
+  std::map<int64_t, std::string> ref_verifies_by_id = ById(ref_verifies);
+
+  for (int shards : {1, 2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    MetricsRegistry metrics;
+    ServerConfig config;
+    config.threads = 2;
+    config.shards = shards;
+    config.queue_depth = 64;
+    ServiceServer server(config, &metrics);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(server.shard_count(), shards);
+
+    auto update_client = ServiceClient::ConnectTcp(server.port());
+    auto verify_client = ServiceClient::ConnectTcp(server.port());
+    ASSERT_TRUE(update_client.ok());
+    ASSERT_TRUE(verify_client.ok());
+    auto loaded = update_client.value().Call(LoadReq("hot"));
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_TRUE(loaded.value().Get("ok").AsBool()) << loaded.value().Dump();
+
+    // Race the streams from two threads on two connections.
+    std::vector<std::string> updates, verifies;
+    std::thread update_thread([&] {
+      updates = RunStream(update_client.value(), UpdateStream());
+    });
+    std::thread verify_thread([&] {
+      verifies = RunStream(verify_client.value(), VerifyStream());
+    });
+    update_thread.join();
+    verify_thread.join();
+    server.NotifyShutdown();
+    server.Wait();
+
+    // Writes are per-session FIFO: the update connection sees its responses
+    // in send order, byte-identical to the single-executor run.
+    ASSERT_EQ(updates.size(), ref_updates.size());
+    for (size_t i = 0; i < updates.size(); ++i) {
+      EXPECT_EQ(updates[i], ref_updates[i]) << "update " << i;
+    }
+    // Reads ran as concurrent snapshots (any completion order), but each
+    // response's bytes must match the single-executor run exactly.
+    EXPECT_EQ(ById(verifies), ref_verifies_by_id);
+    EXPECT_GT(metrics.Snapshot().Counter("serve.snapshot_reads"), 0);
+    EXPECT_EQ(metrics.Snapshot().Counter("serve.rejected"), 0);
+  }
+}
+
+TEST_F(ServiceShardTest, IdleExecutorStealsFromLoadedShard) {
+  // Two session names that hash to the same shard of 2: the sleep occupies
+  // that shard's executor, so only a steal by the other shard's executor
+  // can answer the verify quickly.
+  std::string busy_name = "busy";
+  std::string hot_name;
+  for (int i = 0; hot_name.empty(); ++i) {
+    std::string candidate = "hot" + std::to_string(i);
+    if (ServiceServer::ShardOf(candidate, 2) ==
+        ServiceServer::ShardOf(busy_name, 2)) {
+      hot_name = candidate;
+    }
+    ASSERT_LT(i, 64) << "no colliding session name found";
+  }
+
+  MetricsRegistry metrics;
+  ServerConfig config;
+  config.threads = 2;
+  config.shards = 2;
+  ServiceServer server(config, &metrics);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto blocker = ServiceClient::ConnectTcp(server.port());
+  auto prober = ServiceClient::ConnectTcp(server.port());
+  ASSERT_TRUE(blocker.ok());
+  ASSERT_TRUE(prober.ok());
+  auto loaded = prober.value().Call(LoadReq(hot_name));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded.value().Get("ok").AsBool()) << loaded.value().Dump();
+
+  Json sleep_req = Req(ops::kSleep, 1);
+  sleep_req.Set("session", Json::Str(busy_name));
+  sleep_req.Set("ms", Json::Number(600));
+  ASSERT_TRUE(blocker.value().Send(sleep_req).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  Json verify_req = Req(ops::kVerify, 2);
+  verify_req.Set("session", Json::Str(hot_name));
+  auto begin = std::chrono::steady_clock::now();
+  auto verify = prober.value().Call(verify_req);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - begin)
+                          .count();
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify.value().Get("ok").AsBool()) << verify.value().Dump();
+  // Without stealing this waits out the remaining ~550 ms of sleep.
+  EXPECT_LT(elapsed_ms, 400.0);
+  int64_t stolen = 0;
+  for (const auto& [name, value] : metrics.Snapshot().counters) {
+    if (name.rfind("serve.shard.", 0) == 0 &&
+        name.find(".stolen") != std::string::npos) {
+      stolen += value;
+    }
+  }
+  EXPECT_GE(stolen, 1);
+
+  EXPECT_TRUE(blocker.value().ReadResponse().ok());  // The sleep completes.
+  server.NotifyShutdown();
+  server.Wait();
+}
+
+}  // namespace
+}  // namespace fastofd

@@ -376,6 +376,9 @@ TEST_F(ServiceSocketTest, MalformedLineGets400WithoutKillingConnection) {
 TEST_F(ServiceSocketTest, QueueOverflowIsRejectedWith503) {
   ServerConfig config;
   config.queue_depth = 2;
+  // Small wait list so the flood actually overflows into rejections; the
+  // default (1024) would park everything and answer it all after the sleep.
+  config.max_parked = 2;
   StartServer(config);
 
   // Park the executor in a sleep, then overfill the queue.
@@ -408,11 +411,16 @@ TEST_F(ServiceSocketTest, QueueOverflowIsRejectedWith503) {
       ++rejected;
     }
   }
-  // Queue holds 2; everything else must have been admission-rejected.
-  EXPECT_GE(rejected, kSent - 2 - 1);
-  EXPECT_GE(ok, 1);
+  // The shard admits queue_depth + max_parked requests (minus one queue slot
+  // if the sleep had not been popped yet); everything else must have been
+  // admission-rejected, and every admitted ping answered after the sleep.
+  EXPECT_GE(rejected, kSent - 2 - 2 - 1);
+  EXPECT_GE(ok, 3);
+  EXPECT_EQ(ok + rejected, kSent);
   EXPECT_TRUE(blocker.ReadResponse().ok());
   EXPECT_GE(metrics_.Snapshot().Counter("serve.rejected"), rejected);
+  // No deadlines were set, so nothing may have been shed from the wait list.
+  EXPECT_EQ(metrics_.Snapshot().Counter("serve.shed"), 0);
 }
 
 TEST_F(ServiceSocketTest, ExpiredDeadlineGets504) {
@@ -435,9 +443,65 @@ TEST_F(ServiceSocketTest, ExpiredDeadlineGets504) {
   EXPECT_EQ(metrics_.Snapshot().Counter("serve.deadline_exceeded"), 1);
 }
 
+TEST_F(ServiceSocketTest, ParkedRequestIsShedWhenDeadlineCannotBeMet) {
+  ServerConfig config;
+  config.shards = 1;       // Deterministic: no thief can drain the shard.
+  config.queue_depth = 1;  // One queue slot, so the probe must park.
+  config.max_parked = 4;
+  StartServer(config);
+  ServiceClient client = Connect();
+
+  // Occupy the executor, fill the single queue slot, then park a request
+  // whose deadline expires long before the executor frees up.
+  Json sleep_req = Req(ops::kSleep, 1);
+  sleep_req.Set("ms", Json::Number(300));
+  ASSERT_TRUE(client.Send(sleep_req).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(client.Send(Req(ops::kPing, 2)).ok());
+  Json doomed = Req(ops::kPing, 3);
+  doomed.Set("deadline_ms", Json::Number(30));
+  ASSERT_TRUE(client.Send(doomed).ok());
+
+  // All three must be answered: the shed 503 must carry the parked
+  // request's id (not a 504 — it never reached an executor), and shedding
+  // must not disturb the admitted requests.
+  int pongs = 0;
+  bool shed_seen = false;
+  for (int i = 0; i < 3; ++i) {
+    auto resp = client.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << "response " << i;
+    if (resp.value().Get("ok").AsBool()) {
+      ++pongs;
+    } else {
+      EXPECT_EQ(resp.value().Get("code").AsInt(), kCodeOverloaded);
+      EXPECT_EQ(resp.value().Get("id").AsInt(), 3);
+      shed_seen = true;
+    }
+  }
+  EXPECT_EQ(pongs, 2);
+  EXPECT_TRUE(shed_seen);
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  EXPECT_GE(snapshot.Counter("serve.shed"), 1);
+  EXPECT_EQ(snapshot.Counter("serve.deadline_exceeded"), 0);
+  EXPECT_EQ(snapshot.Counter("serve.rejected"), 0);
+
+  // The shed entry must not leak a wait-list slot: the shard reports an
+  // empty wait list, and the shard still serves traffic.
+  auto parked_it = snapshot.gauges.find("serve.shard.0.parked");
+  ASSERT_NE(parked_it, snapshot.gauges.end());
+  EXPECT_EQ(parked_it->second, 0.0);
+  auto after = client.Call(Req(ops::kPing, 4));
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().Get("ok").AsBool());
+}
+
 TEST_F(ServiceSocketTest, ConsecutiveUpdatesAreMicroBatched) {
   ServerConfig config;
   config.queue_depth = 64;
+  // One shard: with more, an idle executor could steal the first updates
+  // off the blocked shard before the whole run is queued, splitting the
+  // batch this test asserts on.
+  config.shards = 1;
   StartServer(config);
   ServiceClient client = Connect();
   auto loaded = client.Call(LoadReq("s"));

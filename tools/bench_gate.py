@@ -11,6 +11,9 @@ output) against a committed baseline and fails when:
     a flat-vs-legacy speedup below --speedup-min, or
   * a `clean_beam` row reports a full-vs-incremental node-scoring speedup
     below --clean-speedup-min, or is not byte-identical across modes, or
+  * a `serve_closed_loop` row produced on capable hardware (hw >= 8)
+    rejects more than --serve-reject-max percent of its requests, or its
+    p99 exceeds --serve-p99-max-ms on a drivable row (clients <= 4*hw), or
   * a thread-scaling floor is violated on capable hardware: at 8+ threads
     the `ext_parallel` products-phase speedup (`products_x`) must reach
     --ext-products-speedup-min and the `clean_threads` beam speedup must
@@ -64,7 +67,8 @@ def as_number(cell):
 
 def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min,
                    clean_speedup_min=2.0, ext_products_speedup_min=4.0,
-                   clean_threads_speedup_min=3.0):
+                   clean_threads_speedup_min=3.0, serve_reject_max=1.0,
+                   serve_p99_max_ms=10.0):
     """Returns a list of human-readable failure strings (empty == pass)."""
     failures = []
     fresh_by_name = {t["bench"]: t for t in fresh}
@@ -117,6 +121,9 @@ def compare_tables(baseline, fresh, rel_tol, abs_slack, speedup_min,
             failures.extend(check_scaling_floor(
                 fresh_table, "speedup", clean_threads_speedup_min,
                 "beam thread-scaling speedup"))
+        if name == "serve_closed_loop":
+            failures.extend(check_serve_closed_loop(
+                fresh_table, serve_reject_max, serve_p99_max_ms))
     base_names = {t["bench"] for t in baseline}
     for extra in [n for n in fresh_by_name if n not in base_names]:
         print(f"note: fresh table {extra!r} has no committed baseline",
@@ -197,6 +204,57 @@ def check_scaling_floor(table, value_col_name, floor, what):
     return failures
 
 
+def check_serve_closed_loop(table, reject_max_pct, p99_max_ms):
+    """Hard gates for the service closed-loop sweep, conditioned on hardware
+    (the `hw` column is the producing machine's hardware concurrency):
+
+      * rejection rate: on capable hardware (hw >= 8) the sharded executors
+        with bounded waiting must answer virtually everything — the 503 rate
+        (rejected_503 / sent) must stay under reject_max_pct on every row;
+      * tail latency: p99_ms must stay under p99_max_ms, but only on rows
+        the machine can actually drive concurrently (clients <= 4 * hw) —
+        a closed-loop client count far beyond the core count measures queue
+        depth, not service latency.
+
+    Rows from small machines (dev laptops, 1-CPU runners) are skipped
+    entirely; the regular row-wise time comparison still applies to them."""
+    failures = []
+    columns = table["columns"]
+    if "hw" not in columns:
+        print(f"note: {table['bench']} has no 'hw' column; serve floors "
+              "skipped (refresh the bench binary)", file=sys.stderr)
+        return failures
+    clients_col = columns.index("clients")
+    hw_col = columns.index("hw")
+    sent_col = columns.index("sent")
+    rejected_col = columns.index("rejected_503")
+    p99_col = columns.index("p99_ms")
+    for row in table["rows"]:
+        hw = as_number(row[hw_col])
+        if hw is None or hw < 8:
+            continue  # Small machine: floors do not arm.
+        clients = as_number(row[clients_col])
+        sent = as_number(row[sent_col])
+        rejected = as_number(row[rejected_col])
+        if sent and rejected is not None:
+            reject_pct = rejected / sent * 100.0
+            if reject_pct > reject_max_pct:
+                failures.append(
+                    f"serve_closed_loop: {int(clients)} clients rejected "
+                    f"{int(rejected)}/{int(sent)} requests "
+                    f"({reject_pct:.2f}%; gate requires <= "
+                    f"{reject_max_pct:g}% when hw >= 8)")
+        if clients is not None and clients > 4 * hw:
+            continue  # Oversubscribed point: p99 measures queueing, not serving.
+        p99 = as_number(row[p99_col])
+        if p99 is None or p99 > p99_max_ms:
+            failures.append(
+                f"serve_closed_loop: {int(clients)} clients has p99 "
+                f"{row[p99_col]} ms (gate requires <= {p99_max_ms:g} ms "
+                f"when hw >= 8 and clients <= 4*hw; hw={int(hw)})")
+    return failures
+
+
 def check_clean_table(table, clean_speedup_min):
     """Hard gates for the OFDClean beam-search tables: every row must be
     byte-identical to the serial full-rescore reference, and the `clean_beam`
@@ -231,7 +289,8 @@ def run_gate(args):
     failures = compare_tables(baseline, fresh, args.rel_tol, args.abs_slack,
                               args.speedup_min, args.clean_speedup_min,
                               args.ext_products_speedup_min,
-                              args.clean_threads_speedup_min)
+                              args.clean_threads_speedup_min,
+                              args.serve_reject_max, args.serve_p99_max_ms)
     if failures:
         print(f"bench gate FAILED ({len(failures)} problem(s)) comparing "
               f"{args.fresh} against {args.baseline}:")
@@ -267,13 +326,19 @@ def self_test():
                      "validate_x", "products_s", "products_x", "identical"],
          "rows": [[1, 16, 0.80, 1.00, 0.10, 1.00, 0.70, 1.00, "yes"],
                   [8, 16, 0.15, 5.33, 0.02, 5.00, 0.13, 5.38, "yes"]]},
+        {"bench": "serve_closed_loop",
+         "columns": ["clients", "queue_depth", "shards", "hw", "sent", "ok",
+                     "rejected_503", "p50_ms", "p95_ms", "p99_ms"],
+         "rows": [[32, 64, 8, 16, 1600, 1600, 0, 0.9, 2.1, 3.2],
+                  [256, 64, 8, 16, 12800, 12795, 5, 4.0, 7.5, 9.8]]},
     ]
 
     def gate(fresh):
         return compare_tables(baseline, fresh, rel_tol=0.5, abs_slack=0.25,
                               speedup_min=2.0, clean_speedup_min=2.0,
                               ext_products_speedup_min=4.0,
-                              clean_threads_speedup_min=3.0)
+                              clean_threads_speedup_min=3.0,
+                              serve_reject_max=1.0, serve_p99_max_ms=10.0)
 
     def clone(tables):
         return json.loads(json.dumps(tables))
@@ -371,6 +436,49 @@ def self_test():
     checks.append(("non-identical ext_parallel row fails",
                    len(failures) == 1 and "byte-identical" in failures[0]))
 
+    # 13. Serve floors on capable hardware (hw >= 8): a rejection rate over
+    #     the maximum fails even when the latency columns look healthy ...
+    rejecting = clone(baseline)
+    rejecting[5]["rows"][0][5] = 1280   # ok
+    rejecting[5]["rows"][0][6] = 320    # rejected_503: 20% of sent
+    failures = gate(rejecting)
+    checks.append(("serve rejection rate over maximum fails",
+                   len(failures) == 1 and "rejected" in failures[0]
+                   and "20.00%" in failures[0]))
+    #     ... and a p99 above the floor fails on a drivable row
+    #     (clients <= 4*hw).
+    slow_tail = clone(baseline)
+    slow_tail[5]["rows"][0][9] = 14.0   # p99_ms at 32 clients, hw=16
+    failures = gate(slow_tail)
+    checks.append(("serve p99 over floor fails on drivable row",
+                   any("p99" in f and "14" in f for f in failures)))
+
+    # 14. The oversubscribed row (clients > 4*hw) is exempt from the p99
+    #     floor but still rejection-gated.
+    slow_oversub = clone(baseline)
+    # p99_ms at 256 clients, hw=16: above the 10 ms floor (which does not
+    # arm at 256 > 4*16 clients) yet within the row-wise time tolerance.
+    slow_oversub[5]["rows"][1][9] = 12.0
+    checks.append(("oversubscribed row exempt from p99 floor",
+                   gate(slow_oversub) == []))
+    rejecting_oversub = clone(baseline)
+    rejecting_oversub[5]["rows"][1][5] = 10800
+    rejecting_oversub[5]["rows"][1][6] = 2000  # 15.6% rejected
+    failures = gate(rejecting_oversub)
+    checks.append(("oversubscribed row still rejection-gated",
+                   len(failures) == 1 and "rejected" in failures[0]))
+
+    # 15. Small machines (hw < 8, e.g. the dev box or a 4-core hosted
+    #     runner) skip both serve floors: the closed loop physically cannot
+    #     hit datacenter tails there. Time columns are still diffed row-wise
+    #     against the baseline by the generic comparison.
+    small_serve = clone(baseline)
+    for row in small_serve[5]["rows"]:
+        row[3] = 1                        # hw = 1
+    small_serve[5]["rows"][0][6] = 500  # heavy rejection: no floor to trip
+    checks.append(("serve floors skipped when hw < 8",
+                   gate(small_serve) == []))
+
     failed = [name for name, ok in checks if not ok]
     for name, ok in checks:
         print(f"  {'ok' if ok else 'FAIL'}: {name}")
@@ -405,6 +513,14 @@ def main():
                         help="hard minimum for the clean_threads beam "
                              "speedup at 8+ threads when the run machine "
                              "has hw >= threads (default 3.0)")
+    parser.add_argument("--serve-reject-max", type=float, default=1.0,
+                        help="hard maximum 503 rejection rate (percent) for "
+                             "serve_closed_loop rows produced on hw >= 8 "
+                             "machines (default 1.0)")
+    parser.add_argument("--serve-p99-max-ms", type=float, default=10.0,
+                        help="hard maximum p99 latency (ms) for "
+                             "serve_closed_loop rows with hw >= 8 and "
+                             "clients <= 4*hw (default 10.0)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in negative/positive tests")
     args = parser.parse_args()

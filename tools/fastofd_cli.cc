@@ -16,8 +16,8 @@
 //               [--out data.csv] [--ontology-out o.txt] [--sigma-out s.txt]
 //       Generate a synthetic instance (data + ontology + Σ + ground truth).
 //
-//   fastofd serve (--socket PATH | --port N) [--queue-depth D]
-//                 [--deadline-ms MS] [--max-batch B]
+//   fastofd serve (--socket PATH | --port N) [--shards S] [--queue-depth D]
+//                 [--max-parked P] [--deadline-ms MS] [--max-batch B]
 //       Run the resident cleaning service (NDJSON over a UNIX-domain or
 //       loopback TCP socket; see docs/protocol.md). Drains gracefully on
 //       SIGTERM/SIGINT: in-flight requests finish, new ones get 503.
@@ -347,7 +347,9 @@ int RunServe(const Flags& flags) {
     return 2;
   }
   config.threads = ExecContext::ResolveThreads(flags);
+  config.shards = static_cast<int>(flags.GetInt("shards", 0));
   config.queue_depth = static_cast<int>(flags.GetInt("queue-depth", 64));
+  config.max_parked = static_cast<int>(flags.GetInt("max-parked", 1024));
   config.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   config.max_update_batch = static_cast<int>(flags.GetInt("max-batch", 64));
   config.cache_budget_bytes = ExecContext::ResolveCacheBudget(flags);
